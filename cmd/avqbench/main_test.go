@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsSmallScale drives every experiment at reduced scale;
+// the experiment correctness itself is covered in internal/experiments.
+func TestAllExperimentsSmallScale(t *testing.T) {
+	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates"} {
+		if err := run(exp, 2000, 1, 0, 7); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("nope", 100, 1, 0, 7); err == nil {
+		t.Fatal("unknown experiment succeeded")
+	}
+}

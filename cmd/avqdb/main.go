@@ -1,0 +1,380 @@
+// Command avqdb manages persistent AVQ tables: single-file compressed
+// relations with a catalog, primary and secondary indexes, and localized
+// updates.
+//
+// Usage:
+//
+//	avqdb create -db file -schema "region:16,store:128,units:1000" [-codec avq] [-index 1,2] [-hash]
+//	avqdb load   -db file -in data.rel
+//	avqdb insert -db file -tuple "3,77,999"
+//	avqdb delete -db file -tuple "3,77,999"
+//	avqdb query   -db file -attr 0 -lo 3 -hi 4 [-limit 20]
+//	avqdb count   -db file -attr 0 -lo 3 -hi 4
+//	avqdb agg     -db file -attr 0 -lo 3 -hi 4 -agg 2
+//	avqdb explain -db file -attr 0 -lo 3 -hi 4
+//	avqdb compact -db file
+//	avqdb stats   -db file
+//	avqdb verify  -db file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/relfile"
+	"repro/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		db        = fs.String("db", "", "table file (required)")
+		schemaStr = fs.String("schema", "", "create: comma-separated name:size attribute list")
+		codecName = fs.String("codec", "avq", "create: block codec")
+		indexStr  = fs.String("index", "", "create: comma-separated secondary attribute positions")
+		useHash   = fs.Bool("hash", false, "create: back secondary indexes with hashing instead of B+ trees")
+		in        = fs.String("in", "", "load: plain .rel file")
+		tupleStr  = fs.String("tuple", "", "insert/delete: comma-separated attribute values")
+		attr      = fs.Int("attr", 0, "query/count: attribute position")
+		lo        = fs.Uint64("lo", 0, "query/count: lower bound")
+		hi        = fs.Uint64("hi", 0, "query/count: upper bound")
+		limit     = fs.Int("limit", 20, "query: max rows to print")
+		aggAttr   = fs.Int("agg", 0, "agg: attribute to aggregate")
+	)
+	fs.Parse(os.Args[2:])
+	if *db == "" {
+		fmt.Fprintln(os.Stderr, "avqdb: -db is required")
+		os.Exit(2)
+	}
+	err := run(cmd, args{
+		db: *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
+		hash: *useHash, in: *in, tuple: *tupleStr,
+		attr: *attr, lo: *lo, hi: *hi, limit: *limit, aggAttr: *aggAttr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avqdb:", err)
+		os.Exit(1)
+	}
+}
+
+type args struct {
+	db, schema, codec, index, in, tuple string
+	hash                                bool
+	attr, aggAttr                       int
+	lo, hi                              uint64
+	limit                               int
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify -db FILE [flags]")
+}
+
+func run(cmd string, a args) error {
+	switch cmd {
+	case "create":
+		return create(a)
+	case "load":
+		return load(a)
+	case "insert", "delete":
+		return mutate(cmd, a)
+	case "query":
+		return query(a)
+	case "count":
+		return count(a)
+	case "agg":
+		return agg(a)
+	case "explain":
+		return explain(a)
+	case "compact":
+		return compact(a)
+	case "stats":
+		return stats(a)
+	case "verify":
+		return verify(a)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseSchema parses "name:size,name:size,...".
+func parseSchema(s string) (*relation.Schema, error) {
+	if s == "" {
+		return nil, fmt.Errorf("create needs -schema")
+	}
+	var doms []relation.Domain
+	for _, part := range strings.Split(s, ",") {
+		name, sizeStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("attribute %q is not name:size", part)
+		}
+		size, err := strconv.ParseUint(sizeStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %v", part, err)
+		}
+		doms = append(doms, relation.Domain{Name: name, Size: size})
+	}
+	return relation.NewSchema(doms...)
+}
+
+// parseTuple parses "v1,v2,..." against the schema.
+func parseTuple(s *relation.Schema, str string) (relation.Tuple, error) {
+	parts := strings.Split(str, ",")
+	if len(parts) != s.NumAttrs() {
+		return nil, fmt.Errorf("tuple has %d values, schema has %d attributes", len(parts), s.NumAttrs())
+	}
+	tu := make(relation.Tuple, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %v", i, err)
+		}
+		tu[i] = v
+	}
+	return tu, s.ValidateTuple(tu)
+}
+
+func parseCodec(name string) (core.Codec, error) {
+	for _, c := range []core.Codec{core.CodecRaw, core.CodecAVQ, core.CodecRepOnly, core.CodecDeltaChain, core.CodecPacked} {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown codec %q", name)
+}
+
+func create(a args) error {
+	schema, err := parseSchema(a.schema)
+	if err != nil {
+		return err
+	}
+	codec, err := parseCodec(a.codec)
+	if err != nil {
+		return err
+	}
+	var secondaries []int
+	if a.index != "" {
+		for _, p := range strings.Split(a.index, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("index position %q: %v", p, err)
+			}
+			secondaries = append(secondaries, i)
+		}
+	}
+	kind := table.IndexBTree
+	if a.hash {
+		kind = table.IndexHash
+	}
+	tb, err := table.Create(schema, table.Options{
+		Codec: codec, Path: a.db,
+		SecondaryAttrs: secondaries, SecondaryKind: kind,
+	})
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	fmt.Printf("created %s: schema %s, codec %s, %d secondary indexes (%s)\n",
+		a.db, schema, codec, len(secondaries), kind)
+	return nil
+}
+
+func openDB(a args) (*table.Table, error) {
+	return table.Open(a.db, table.Options{})
+}
+
+func load(a args) error {
+	if a.in == "" {
+		return fmt.Errorf("load needs -in")
+	}
+	f, err := os.Open(a.in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	var tuples []relation.Tuple
+	if strings.HasSuffix(a.in, ".csv") {
+		_, tuples, err = relfile.ReadCSV(f, tb.Schema())
+	} else {
+		var schema *relation.Schema
+		schema, tuples, err = relfile.ReadPlain(f)
+		if err == nil && !tb.Schema().Equal(schema) {
+			return fmt.Errorf("file schema %s does not match table schema %s", schema, tb.Schema())
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if tb.Len() == 0 {
+		if err := tb.BulkLoad(tuples); err != nil {
+			return err
+		}
+	} else if err := tb.InsertBatch(tuples); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d tuples; table now holds %d in %d blocks\n",
+		len(tuples), tb.Len(), tb.NumBlocks())
+	return nil
+}
+
+func compact(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	before, after, err := tb.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %d blocks into %d\n", before, after)
+	return nil
+}
+
+func mutate(cmd string, a args) error {
+	if a.tuple == "" {
+		return fmt.Errorf("%s needs -tuple", cmd)
+	}
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	tu, err := parseTuple(tb.Schema(), a.tuple)
+	if err != nil {
+		return err
+	}
+	if cmd == "insert" {
+		if err := tb.Insert(tu); err != nil {
+			return err
+		}
+		fmt.Printf("inserted %v; table holds %d tuples in %d blocks\n", tu, tb.Len(), tb.NumBlocks())
+		return nil
+	}
+	ok, err := tb.Delete(tu)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Printf("%v not found\n", tu)
+		return nil
+	}
+	fmt.Printf("deleted %v; table holds %d tuples in %d blocks\n", tu, tb.Len(), tb.NumBlocks())
+	return nil
+}
+
+func query(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	printed := 0
+	stats, err := tb.SelectRangeFunc(a.attr, a.lo, a.hi, func(tu relation.Tuple) bool {
+		if printed < a.limit {
+			fmt.Println(tu)
+			printed++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if stats.Matches > printed {
+		fmt.Printf("... and %d more\n", stats.Matches-printed)
+	}
+	fmt.Printf("%d rows via %s path, %d of %d blocks read\n",
+		stats.Matches, stats.Strategy, stats.BlocksRead, tb.NumBlocks())
+	return nil
+}
+
+func count(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	n, stats, err := tb.CountRange(a.attr, a.lo, a.hi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows via %s path, %d blocks read\n", n, stats.Strategy, stats.BlocksRead)
+	return nil
+}
+
+func agg(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	res, qs, err := tb.AggregateRange(a.attr, a.lo, a.hi, a.aggAttr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("count=%d sum=%d min=%d max=%d (attr %d over %d<=A%d<=%d; %s path, %d blocks)\n",
+		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, qs.Strategy, qs.BlocksRead)
+	return nil
+}
+
+func explain(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	plan, err := tb.Explain([]table.Predicate{{Attr: a.attr, Lo: a.lo, Hi: a.hi}})
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
+	return nil
+}
+
+func stats(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	st, err := tb.StoreStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schema: %s\n", tb.Schema())
+	fmt.Printf("codec: %s\n", tb.Codec())
+	fmt.Printf("tuples: %d in %d blocks (%d index nodes, primary height %d)\n",
+		tb.Len(), tb.NumBlocks(), tb.IndexNodeCount(), tb.PrimaryHeight())
+	fmt.Printf("coded payload: %d bytes; raw rows would be %d bytes (%.1f%% reduction)\n",
+		st.StreamBytes, st.RawDataBytes,
+		100*(1-float64(st.StreamBytes)/float64(st.RawDataBytes)))
+	return nil
+}
+
+func verify(a args) error {
+	tb, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	if err := tb.CheckInvariants(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: OK — %d tuples, %d blocks, all invariants hold\n", a.db, tb.Len(), tb.NumBlocks())
+	return nil
+}

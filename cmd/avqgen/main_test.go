@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/relfile"
+)
+
+func TestGenerateRel(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.rel")
+	if err := run(out, 500, 5, 100, "small", true, 3, "rel", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	schema, tuples, err := relfile.ReadPlain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.NumAttrs() != 5 || len(tuples) != 500 {
+		t.Fatalf("generated %d attrs, %d tuples", schema.NumAttrs(), len(tuples))
+	}
+}
+
+func TestGenerateCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	if err := run(out, 10, 3, 50, "large", false, 3, "csv", ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("csv has %d lines, want header + 10", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a01,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestGenerateSpecs(t *testing.T) {
+	dir := t.TempDir()
+	for _, spec := range []string{"fig5.7", "38byte"} {
+		out := filepath.Join(dir, spec+".rel")
+		if err := run(out, 200, 0, 0, "small", false, 1, "rel", spec); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.rel")
+	if err := run(out, 10, 3, 50, "sideways", false, 1, "rel", ""); err == nil {
+		t.Fatal("bad variance accepted")
+	}
+	if err := run(out, 10, 3, 50, "small", false, 1, "yaml", ""); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run(out, 10, 3, 50, "small", false, 1, "rel", "nope"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,579 @@
+// Package blockstore stores a phi-clustered relation as a sequence of
+// coded disk blocks (Sections 3.3-3.4 and 4.2 of the paper).
+//
+// The store is parameterized by a core.Codec: with CodecAVQ it is the
+// paper's compressed store, with CodecRaw it is the "No coding" baseline,
+// and with the ablation codecs it is the corresponding variant. Everything
+// else — packing, block splits, localized insert and delete — is identical
+// across codecs, so the evaluation compares representations, not different
+// engines.
+//
+// Each page holds one coded block: a 4-byte big-endian stream length
+// followed by the core block stream. Tuples within a block are in phi
+// order, and the ordered block list is the clustered order of the relation.
+// Insertion and deletion decode, modify, and re-encode only the affected
+// block (Figure 4.6); a block whose re-coded stream no longer fits its page
+// is split, and an emptied block's page is freed.
+package blockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// lenPrefix is the page-header overhead: the coded stream length.
+const lenPrefix = 4
+
+// Errors returned by the store.
+var (
+	ErrTupleTooLarge = errors.New("blockstore: a single tuple does not fit in a page")
+	ErrUnknownBlock  = errors.New("blockstore: page is not a block of this store")
+)
+
+// BlockRef describes one data block: its page and its first (smallest)
+// tuple, which is the block's primary-index key.
+type BlockRef struct {
+	Page  storage.PageID
+	First relation.Tuple
+	Count int
+}
+
+// Store is a clustered, coded block store. It is not safe for concurrent
+// mutation; the table layer serializes access.
+type Store struct {
+	schema *relation.Schema
+	codec  core.Codec
+	pool   *buffer.Pool
+	blocks []storage.PageID
+	pos    map[storage.PageID]int // page -> index in blocks
+}
+
+// New creates an empty store over the pool.
+func New(schema *relation.Schema, codec core.Codec, pool *buffer.Pool) (*Store, error) {
+	if !codec.Valid() {
+		return nil, fmt.Errorf("blockstore: invalid codec %d", uint8(codec))
+	}
+	if schema.RowSize()+lenPrefix > pool.PageSize() {
+		return nil, ErrTupleTooLarge
+	}
+	return &Store{
+		schema: schema,
+		codec:  codec,
+		pool:   pool,
+		pos:    make(map[storage.PageID]int),
+	}, nil
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *relation.Schema { return s.schema }
+
+// Codec returns the store's block codec.
+func (s *Store) Codec() core.Codec { return s.codec }
+
+// NumBlocks returns the number of data blocks.
+func (s *Store) NumBlocks() int { return len(s.blocks) }
+
+// Blocks returns the pages of the store's blocks in clustered order.
+func (s *Store) Blocks() []storage.PageID {
+	out := make([]storage.PageID, len(s.blocks))
+	copy(out, s.blocks)
+	return out
+}
+
+// capacity is the usable coded-stream capacity of a page.
+func (s *Store) capacity() int { return s.pool.PageSize() - lenPrefix }
+
+// Restore adopts an existing block layout whose pages are already
+// populated in the pool's pager, without rewriting anything. Opening a
+// persistent table uses it to rebuild the store from the catalog's block
+// list. The store must be empty and the page ids distinct.
+func (s *Store) Restore(blocks []storage.PageID) error {
+	if len(s.blocks) != 0 {
+		return errors.New("blockstore: restore into non-empty store")
+	}
+	s.blocks = append([]storage.PageID(nil), blocks...)
+	for i, id := range s.blocks {
+		if _, dup := s.pos[id]; dup {
+			s.blocks = nil
+			s.pos = make(map[storage.PageID]int)
+			return fmt.Errorf("blockstore: duplicate page %d in restored layout", id)
+		}
+		s.pos[id] = i
+	}
+	return nil
+}
+
+// BulkLoad replaces the store's contents with the given tuples, which must
+// already be sorted in phi order (use Schema.SortTuples). Blocks are packed
+// greedily to the page capacity, the paper's "minimize unused space" rule.
+// It returns a BlockRef per block, in clustered order.
+func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
+	if !s.schema.TuplesSorted(tuples) {
+		return nil, errors.New("blockstore: bulk load input not in phi order")
+	}
+	if len(s.blocks) != 0 {
+		return nil, errors.New("blockstore: bulk load into non-empty store")
+	}
+	var refs []BlockRef
+	remaining := tuples
+	for len(remaining) > 0 {
+		u, err := core.MaxFit(s.codec, s.schema, remaining, s.capacity())
+		if err != nil {
+			return nil, err
+		}
+		if u == 0 {
+			return nil, ErrTupleTooLarge
+		}
+		ref, err := s.appendBlock(remaining[:u])
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+		remaining = remaining[u:]
+	}
+	return refs, nil
+}
+
+// BulkLoadStream is BulkLoad for sources too large to materialize: it
+// pulls phi-ordered tuples from next (which returns ok=false when dry) and
+// packs blocks incrementally, holding only a small buffering window in
+// memory. Used with the external sorter it loads relations of any size.
+func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]BlockRef, error) {
+	if len(s.blocks) != 0 {
+		return nil, errors.New("blockstore: bulk load into non-empty store")
+	}
+	var refs []BlockRef
+	var window []relation.Tuple
+	var prev relation.Tuple
+	dry := false
+	// Enough headroom that MaxFit can always see past one full block.
+	highWater := 4096
+	for {
+		for !dry && len(window) < highWater {
+			tu, ok, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				dry = true
+				break
+			}
+			if prev != nil && s.schema.Compare(prev, tu) > 0 {
+				return nil, errors.New("blockstore: stream not in phi order")
+			}
+			prev = tu.Clone()
+			window = append(window, tu.Clone())
+		}
+		if len(window) == 0 {
+			return refs, nil
+		}
+		u, err := core.MaxFit(s.codec, s.schema, window, s.capacity())
+		if err != nil {
+			return nil, err
+		}
+		if u == 0 {
+			return nil, ErrTupleTooLarge
+		}
+		if u == len(window) && !dry {
+			// The block could still grow; widen the window and refill.
+			highWater *= 2
+			continue
+		}
+		ref, err := s.appendBlock(window[:u])
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+		window = append(window[:0], window[u:]...)
+	}
+}
+
+// appendBlock writes a new block at the end of the clustered order.
+func (s *Store) appendBlock(tuples []relation.Tuple) (BlockRef, error) {
+	frame, err := s.pool.Allocate()
+	if err != nil {
+		return BlockRef{}, err
+	}
+	defer s.pool.Unpin(frame)
+	if err := s.encodeInto(frame, tuples); err != nil {
+		return BlockRef{}, err
+	}
+	id := frame.ID()
+	s.pos[id] = len(s.blocks)
+	s.blocks = append(s.blocks, id)
+	return BlockRef{Page: id, First: tuples[0].Clone(), Count: len(tuples)}, nil
+}
+
+// encodeInto codes tuples into the frame's page.
+func (s *Store) encodeInto(frame *buffer.Frame, tuples []relation.Tuple) error {
+	stream, err := core.EncodeBlock(s.codec, s.schema, tuples, nil)
+	if err != nil {
+		return err
+	}
+	if len(stream) > s.capacity() {
+		return fmt.Errorf("blockstore: coded stream %d bytes exceeds page capacity %d", len(stream), s.capacity())
+	}
+	data := frame.Data()
+	binary.BigEndian.PutUint32(data[:lenPrefix], uint32(len(stream)))
+	copy(data[lenPrefix:], stream)
+	// Zero the tail so stale bytes from a previous, longer block cannot
+	// survive on the page.
+	clear(data[lenPrefix+len(stream):])
+	frame.MarkDirty()
+	return nil
+}
+
+// ReadBlock decodes the tuples of the block stored on page id.
+func (s *Store) ReadBlock(id storage.PageID) ([]relation.Tuple, error) {
+	if _, ok := s.pos[id]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	frame, err := s.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Unpin(frame)
+	data := frame.Data()
+	l := binary.BigEndian.Uint32(data[:lenPrefix])
+	if int(l) > s.capacity() {
+		return nil, fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
+	}
+	return core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
+}
+
+// MutationResult reports how an insert or delete changed the block layout,
+// so the table layer can maintain its indexes.
+type MutationResult struct {
+	// Blocks holds the refs of every block that now covers the affected
+	// key range, in clustered order: the modified block, plus any blocks
+	// created by a split. Empty when the block was removed entirely.
+	Blocks []BlockRef
+	// Removed is the page freed because the block became empty.
+	Removed storage.PageID
+	// HasRemoved reports whether Removed is meaningful.
+	HasRemoved bool
+}
+
+// InsertIntoBlock inserts t into the block on page id, keeping phi order,
+// re-coding the block in place, and splitting it if the coded stream no
+// longer fits the page (Section 4.2). Duplicates are permitted.
+func (s *Store) InsertIntoBlock(id storage.PageID, t relation.Tuple) (MutationResult, error) {
+	tuples, err := s.ReadBlock(id)
+	if err != nil {
+		return MutationResult{}, err
+	}
+	// Binary search the insertion point.
+	lo, hi := 0, len(tuples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.schema.Compare(tuples[mid], t) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	tuples = append(tuples, nil)
+	copy(tuples[lo+1:], tuples[lo:])
+	tuples[lo] = t.Clone()
+	return s.rewriteBlock(id, tuples)
+}
+
+// DeleteFromBlock removes one occurrence of t from the block on page id.
+// It returns the mutation result and whether the tuple was found.
+func (s *Store) DeleteFromBlock(id storage.PageID, t relation.Tuple) (MutationResult, bool, error) {
+	tuples, err := s.ReadBlock(id)
+	if err != nil {
+		return MutationResult{}, false, err
+	}
+	idx := -1
+	for i, tu := range tuples {
+		if s.schema.Compare(tu, t) == 0 {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return MutationResult{}, false, nil
+	}
+	tuples = append(tuples[:idx], tuples[idx+1:]...)
+	if len(tuples) == 0 {
+		if err := s.removeBlock(id); err != nil {
+			return MutationResult{}, false, err
+		}
+		return MutationResult{Removed: id, HasRemoved: true}, true, nil
+	}
+	res, err := s.rewriteBlock(id, tuples)
+	return res, true, err
+}
+
+// RewriteBlock replaces the contents of the block on page id with the
+// given phi-sorted, non-empty tuple run, re-coding in place and splitting
+// when it no longer fits. Batch insertion uses it to merge many tuples
+// into a block with a single rewrite.
+func (s *Store) RewriteBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+	if _, ok := s.pos[id]; !ok {
+		return MutationResult{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	if len(tuples) == 0 {
+		return MutationResult{}, errors.New("blockstore: rewrite with no tuples")
+	}
+	if !s.schema.TuplesSorted(tuples) {
+		return MutationResult{}, errors.New("blockstore: rewrite input not in phi order")
+	}
+	return s.rewriteBlock(id, tuples)
+}
+
+// rewriteBlock re-codes tuples onto a fresh page (copy-on-write),
+// splitting into additional blocks when they no longer fit. The original
+// page is freed, never overwritten: combined with the file pager's
+// deferred reuse, a crash between catalog checkpoints can never clobber a
+// block the last durable catalog references.
+func (s *Store) rewriteBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+	size, err := core.EncodedSize(s.codec, s.schema, tuples)
+	if err != nil {
+		return MutationResult{}, err
+	}
+	if size <= s.capacity() {
+		newID, err := s.writeFresh(tuples)
+		if err != nil {
+			return MutationResult{}, err
+		}
+		if err := s.replacePage(id, newID); err != nil {
+			return MutationResult{}, err
+		}
+		return MutationResult{Blocks: []BlockRef{{
+			Page: newID, First: tuples[0].Clone(), Count: len(tuples),
+		}}}, nil
+	}
+	return s.splitBlock(id, tuples)
+}
+
+// writeFresh codes tuples onto a newly allocated page and returns it.
+func (s *Store) writeFresh(tuples []relation.Tuple) (storage.PageID, error) {
+	frame, err := s.pool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	err = s.encodeInto(frame, tuples)
+	id := frame.ID()
+	if uerr := s.pool.Unpin(frame); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// replacePage swaps newID into oldID's clustered position and frees oldID.
+func (s *Store) replacePage(oldID, newID storage.PageID) error {
+	at, ok := s.pos[oldID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, oldID)
+	}
+	s.blocks[at] = newID
+	delete(s.pos, oldID)
+	s.pos[newID] = at
+	return s.pool.Free(oldID)
+}
+
+// splitBlock distributes tuples over as many fresh pages as needed,
+// spliced into the original block's clustered position (copy-on-write; the
+// original page is freed). An even first split is preferred (half the
+// tuples per side) so both halves retain insertion slack; if a half still
+// overflows, packing falls back to greedy MaxFit runs.
+func (s *Store) splitBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+	var runs [][]relation.Tuple
+	half := len(tuples) / 2
+	if half > 0 {
+		leftSize, err := core.EncodedSize(s.codec, s.schema, tuples[:half])
+		if err != nil {
+			return MutationResult{}, err
+		}
+		rightSize, err := core.EncodedSize(s.codec, s.schema, tuples[half:])
+		if err != nil {
+			return MutationResult{}, err
+		}
+		if leftSize <= s.capacity() && rightSize <= s.capacity() {
+			runs = [][]relation.Tuple{tuples[:half], tuples[half:]}
+		}
+	}
+	if runs == nil {
+		remaining := tuples
+		for len(remaining) > 0 {
+			u, err := core.MaxFit(s.codec, s.schema, remaining, s.capacity())
+			if err != nil {
+				return MutationResult{}, err
+			}
+			if u == 0 {
+				return MutationResult{}, ErrTupleTooLarge
+			}
+			runs = append(runs, remaining[:u])
+			remaining = remaining[u:]
+		}
+	}
+
+	var res MutationResult
+	at, ok := s.pos[id]
+	if !ok {
+		return MutationResult{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	newIDs := make([]storage.PageID, len(runs))
+	for i, run := range runs {
+		newID, err := s.writeFresh(run)
+		if err != nil {
+			return MutationResult{}, err
+		}
+		newIDs[i] = newID
+		res.Blocks = append(res.Blocks, BlockRef{Page: newID, First: run[0].Clone(), Count: len(run)})
+	}
+	// Splice: replace the original slot with the first run, insert the rest
+	// after it.
+	s.blocks[at] = newIDs[0]
+	delete(s.pos, id)
+	for i := 1; i < len(newIDs); i++ {
+		insertAt := at + i
+		s.blocks = append(s.blocks, 0)
+		copy(s.blocks[insertAt+1:], s.blocks[insertAt:])
+		s.blocks[insertAt] = newIDs[i]
+	}
+	s.reindexFrom(at)
+	if err := s.pool.Free(id); err != nil {
+		return MutationResult{}, err
+	}
+	return res, nil
+}
+
+// removeBlock frees an emptied block's page.
+func (s *Store) removeBlock(id storage.PageID) error {
+	at, ok := s.pos[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	s.blocks = append(s.blocks[:at], s.blocks[at+1:]...)
+	delete(s.pos, id)
+	s.reindexFrom(at)
+	return s.pool.Free(id)
+}
+
+// reindexFrom refreshes the page-to-position map from position at onward.
+func (s *Store) reindexFrom(at int) {
+	for i := at; i < len(s.blocks); i++ {
+		s.pos[s.blocks[i]] = i
+	}
+}
+
+// Reset frees every block page and empties the store, leaving it ready for
+// a fresh BulkLoad. Compaction uses it to tear down the old layout.
+func (s *Store) Reset() error {
+	for _, id := range s.blocks {
+		if err := s.pool.Free(id); err != nil {
+			return err
+		}
+	}
+	s.blocks = nil
+	s.pos = make(map[storage.PageID]int)
+	return nil
+}
+
+// NextBlock returns the page following id in clustered order, or false at
+// the end. Range scans use it to walk contiguous blocks.
+func (s *Store) NextBlock(id storage.PageID) (storage.PageID, bool) {
+	at, ok := s.pos[id]
+	if !ok || at+1 >= len(s.blocks) {
+		return 0, false
+	}
+	return s.blocks[at+1], true
+}
+
+// ScanBlocks visits every block in clustered order, decoding each. fn
+// returning false stops the scan.
+func (s *Store) ScanBlocks(fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
+	for _, id := range s.blocks {
+		tuples, err := s.ReadBlock(id)
+		if err != nil {
+			return err
+		}
+		if !fn(id, tuples) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the store's physical layout.
+type Stats struct {
+	Blocks       int
+	Tuples       int
+	StreamBytes  int // total coded bytes, excluding page padding
+	PageBytes    int // Blocks * page size: what the relation occupies on disk
+	RawDataBytes int // Tuples * RowSize: the uncoded fixed-width size
+}
+
+// CompressionRatio returns 1 - coded/uncoded over page-granular sizes; the
+// paper's "percentage reduction in size" (Figure 5.7) is 100 times this.
+func (st Stats) CompressionRatio() float64 {
+	if st.RawDataBytes == 0 {
+		return 0
+	}
+	return 1 - float64(st.PageBytes)/float64(st.RawDataBytes)
+}
+
+// ComputeStats walks the store and returns its layout statistics.
+func (s *Store) ComputeStats() (Stats, error) {
+	st := Stats{Blocks: len(s.blocks), PageBytes: len(s.blocks) * s.pool.PageSize()}
+	for _, id := range s.blocks {
+		frame, err := s.pool.Get(id)
+		if err != nil {
+			return Stats{}, err
+		}
+		data := frame.Data()
+		l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
+		info, err := core.Inspect(data[lenPrefix : lenPrefix+l])
+		s.pool.Unpin(frame)
+		if err != nil {
+			return Stats{}, err
+		}
+		st.StreamBytes += info.StreamSize
+		st.Tuples += info.TupleCount
+	}
+	st.RawDataBytes = st.Tuples * s.schema.RowSize()
+	return st, nil
+}
+
+// CheckInvariants verifies the clustered layout: the position map matches
+// the block list, every block decodes, blocks are non-empty and internally
+// sorted, and block boundaries respect phi order. Tests and the avqtool
+// verify command use it.
+func (s *Store) CheckInvariants() error {
+	if len(s.pos) != len(s.blocks) {
+		return fmt.Errorf("blockstore: %d positions for %d blocks", len(s.pos), len(s.blocks))
+	}
+	var prevLast relation.Tuple
+	for i, id := range s.blocks {
+		if s.pos[id] != i {
+			return fmt.Errorf("blockstore: page %d position %d != %d", id, s.pos[id], i)
+		}
+		tuples, err := s.ReadBlock(id)
+		if err != nil {
+			return fmt.Errorf("blockstore: block %d: %w", i, err)
+		}
+		if len(tuples) == 0 {
+			return fmt.Errorf("blockstore: block %d is empty", i)
+		}
+		if !s.schema.TuplesSorted(tuples) {
+			return fmt.Errorf("blockstore: block %d not phi-sorted", i)
+		}
+		if prevLast != nil && s.schema.Compare(prevLast, tuples[0]) > 0 {
+			return fmt.Errorf("blockstore: block %d overlaps predecessor", i)
+		}
+		prevLast = tuples[len(tuples)-1]
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+// Package buffer implements a pinning LRU buffer pool over a storage.Pager.
+//
+// The pool is where the paper's I/O accounting happens: every miss is one
+// block read (a t1 in the cost model of Section 5.3) and every dirty
+// eviction or flush is one block write. When constructed with a
+// simdisk.Disk the pool records those accesses against the disk's cost
+// model, so experiments obtain N (blocks accessed) and simulated I/O time
+// directly from running real queries.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/simdisk"
+	"repro/internal/storage"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolFull   = errors.New("buffer: all frames pinned")
+	ErrNotPinned  = errors.New("buffer: unpin of frame that is not pinned")
+	ErrPoolClosed = errors.New("buffer: pool is closed")
+)
+
+// Frame is a pinned page in the pool. The frame's data remains valid until
+// Unpin; mutating it requires MarkDirty so the change is written back.
+type Frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+
+	// LRU list links; a frame is on the list only while unpinned.
+	prev, next *Frame
+}
+
+// ID returns the page id held by the frame.
+func (f *Frame) ID() storage.PageID { return f.id }
+
+// Data returns the page contents. The slice aliases pool memory: it is
+// valid only while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the frame's data was modified and must be written
+// back before eviction.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Flushes   int64
+}
+
+// Pool is a fixed-capacity pinning LRU buffer pool. It is safe for
+// concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	pager    storage.Pager
+	disk     *simdisk.Disk
+	capacity int
+	frames   map[storage.PageID]*Frame
+	lruHead  *Frame // most recently used unpinned frame
+	lruTail  *Frame // least recently used unpinned frame
+	stats    Stats
+	closed   bool
+}
+
+// New creates a pool of the given capacity (in frames) over the pager.
+// disk may be nil to disable cost accounting.
+func New(pager storage.Pager, disk *simdisk.Disk, capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: capacity %d must be positive", capacity)
+	}
+	return &Pool{
+		pager:    pager,
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[storage.PageID]*Frame, capacity),
+	}, nil
+}
+
+// PageSize returns the underlying pager's page size.
+func (p *Pool) PageSize() int { return p.pager.PageSize() }
+
+// Pager returns the underlying pager.
+func (p *Pool) Pager() storage.Pager { return p.pager }
+
+// lruRemove unlinks f from the LRU list.
+func (p *Pool) lruRemove(f *Frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if p.lruHead == f {
+		p.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if p.lruTail == f {
+		p.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// lruPush puts f at the most-recently-used end.
+func (p *Pool) lruPush(f *Frame) {
+	f.prev = nil
+	f.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = f
+	}
+	p.lruHead = f
+	if p.lruTail == nil {
+		p.lruTail = f
+	}
+}
+
+// evictLocked frees one unpinned frame, writing it back if dirty. The
+// caller holds p.mu.
+func (p *Pool) evictLocked() error {
+	victim := p.lruTail
+	if victim == nil {
+		return ErrPoolFull
+	}
+	p.lruRemove(victim)
+	if victim.dirty {
+		if err := p.writeBackLocked(victim); err != nil {
+			// Re-link so the pool stays consistent after the error.
+			p.lruPush(victim)
+			return err
+		}
+	}
+	delete(p.frames, victim.id)
+	p.stats.Evictions++
+	return nil
+}
+
+func (p *Pool) writeBackLocked(f *Frame) error {
+	if err := p.pager.Write(f.id, f.data); err != nil {
+		return fmt.Errorf("buffer: write back page %d: %w", f.id, err)
+	}
+	if p.disk != nil {
+		p.disk.RecordWritePage(int64(f.id), len(f.data))
+	}
+	f.dirty = false
+	p.stats.Flushes++
+	return nil
+}
+
+// Get pins the page in the pool, reading it from the pager on a miss, and
+// returns its frame. Every successful Get must be paired with an Unpin.
+func (p *Pool) Get(id storage.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	if f, ok := p.frames[id]; ok {
+		if f.pins == 0 {
+			p.lruRemove(f)
+		}
+		f.pins++
+		p.stats.Hits++
+		return f, nil
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	data := make([]byte, p.pager.PageSize())
+	if err := p.pager.Read(id, data); err != nil {
+		return nil, err
+	}
+	if p.disk != nil {
+		p.disk.RecordReadPage(int64(id), len(data))
+	}
+	p.stats.Misses++
+	f := &Frame{id: id, data: data, pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Unpin releases one pin on the frame. When the pin count reaches zero the
+// frame becomes evictable.
+func (p *Pool) Unpin(f *Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		return ErrNotPinned
+	}
+	f.pins--
+	if f.pins == 0 {
+		p.lruPush(f)
+	}
+	return nil
+}
+
+// Allocate creates a new zeroed page and returns it pinned. The frame
+// starts clean; callers that fill it must MarkDirty.
+func (p *Pool) Allocate() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	id, err := p.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, p.pager.PageSize()), pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// Free drops the page from the pool and returns it to the pager's free
+// list. The page must not be pinned.
+func (p *Pool) Free(id storage.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: free of pinned page %d", id)
+		}
+		p.lruRemove(f)
+		delete(p.frames, id)
+	}
+	return p.pager.Free(id)
+}
+
+// Flush writes back every dirty frame without evicting anything.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropAll flushes dirty frames and then empties the pool, so subsequent
+// Gets hit the pager again. Experiments use it to run each query cold, as
+// the paper's model assumes. It is an error if any frame is pinned.
+func (p *Pool) DropAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: drop-all with pinned page %d", id)
+		}
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	p.frames = make(map[storage.PageID]*Frame, p.capacity)
+	p.lruHead, p.lruTail = nil, nil
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	p.stats = Stats{}
+	p.mu.Unlock()
+}
+
+// Close flushes dirty frames and closes the pool (but not the pager, which
+// the caller owns).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	p.closed = true
+	p.frames = nil
+	p.lruHead, p.lruTail = nil, nil
+	return nil
+}

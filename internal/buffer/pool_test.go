@@ -1,0 +1,348 @@
+package buffer
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/simdisk"
+	"repro/internal/storage"
+)
+
+func newPool(t *testing.T, capacity int) (*Pool, *simdisk.Disk, storage.Pager) {
+	t.Helper()
+	pager, err := storage.NewMemPager(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := simdisk.MustNew(simdisk.PaperParams())
+	pool, err := New(pager, disk, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, disk, pager
+}
+
+func allocPages(t *testing.T, pool *Pool, n int) []storage.PageID {
+	t.Helper()
+	ids := make([]storage.PageID, n)
+	for i := range ids {
+		f, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = f.ID()
+		if err := pool.Unpin(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func TestGetMissAndHit(t *testing.T) {
+	pool, disk, _ := newPool(t, 4)
+	ids := allocPages(t, pool, 1)
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk.Reset()
+	pool.ResetStats()
+
+	f, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+	f, err = pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+
+	st := pool.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", st)
+	}
+	if ds := disk.Stats(); ds.Reads != 1 {
+		t.Fatalf("disk reads = %d, want 1 (hit must not touch disk)", ds.Reads)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	pool, disk, pager := newPool(t, 2)
+	ids := allocPages(t, pool, 3)
+	disk.Reset()
+
+	f, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data(), bytes.Repeat([]byte{0xCC}, 128))
+	f.MarkDirty()
+	pool.Unpin(f)
+
+	// Fill the pool past capacity so ids[0] is evicted.
+	for _, id := range ids[1:] {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(f)
+	}
+	if st := pool.Stats(); st.Evictions == 0 {
+		t.Fatal("no eviction happened")
+	}
+	if ds := disk.Stats(); ds.Writes != 1 {
+		t.Fatalf("disk writes = %d, want 1 (dirty eviction)", ds.Writes)
+	}
+	// The pager must hold the new data.
+	buf := make([]byte, 128)
+	if err := pager.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xCC {
+		t.Fatal("dirty page not written back")
+	}
+}
+
+func TestAllFramesPinned(t *testing.T) {
+	pool, _, _ := newPool(t, 2)
+	ids := allocPages(t, pool, 3)
+	f0, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := pool.Get(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(ids[2]); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("Get with all pinned err = %v", err)
+	}
+	pool.Unpin(f0)
+	if _, err := pool.Get(ids[2]); err != nil {
+		t.Fatalf("Get after unpin: %v", err)
+	}
+	pool.Unpin(f1)
+}
+
+func TestDoubleUnpin(t *testing.T) {
+	pool, _, _ := newPool(t, 2)
+	ids := allocPages(t, pool, 1)
+	f, err := pool.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Unpin(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Unpin(f); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("double unpin err = %v", err)
+	}
+}
+
+func TestPinCountNesting(t *testing.T) {
+	pool, _, _ := newPool(t, 1)
+	ids := allocPages(t, pool, 2)
+	f1, _ := pool.Get(ids[0])
+	f2, _ := pool.Get(ids[0]) // second pin on the same frame
+	if f1 != f2 {
+		t.Fatal("same page produced two frames")
+	}
+	pool.Unpin(f1)
+	// Still pinned once: a Get of another page must fail (capacity 1).
+	if _, err := pool.Get(ids[1]); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("expected ErrPoolFull, got %v", err)
+	}
+	pool.Unpin(f2)
+	if _, err := pool.Get(ids[1]); err != nil {
+		t.Fatalf("after final unpin: %v", err)
+	}
+}
+
+func TestFlushAndDropAll(t *testing.T) {
+	pool, disk, pager := newPool(t, 4)
+	ids := allocPages(t, pool, 2)
+	f, _ := pool.Get(ids[1])
+	f.Data()[5] = 42
+	f.MarkDirty()
+	pool.Unpin(f)
+	disk.Reset()
+
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := pager.Read(ids[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[5] != 42 {
+		t.Fatal("Flush did not write back")
+	}
+	if ds := disk.Stats(); ds.Writes != 1 {
+		t.Fatalf("disk writes = %d", ds.Writes)
+	}
+
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	f, err := pool.Get(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f)
+	if st := pool.Stats(); st.Misses != 1 {
+		t.Fatalf("after DropAll, Get should miss: %+v", st)
+	}
+}
+
+func TestDropAllRefusesPinned(t *testing.T) {
+	pool, _, _ := newPool(t, 4)
+	ids := allocPages(t, pool, 1)
+	f, _ := pool.Get(ids[0])
+	if err := pool.DropAll(); err == nil {
+		t.Fatal("DropAll succeeded with a pinned frame")
+	}
+	pool.Unpin(f)
+}
+
+func TestFreeDropsPage(t *testing.T) {
+	pool, _, pager := newPool(t, 4)
+	ids := allocPages(t, pool, 1)
+	if err := pool.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := pager.Read(ids[0], buf); !errors.Is(err, storage.ErrPageFreed) {
+		t.Fatalf("pager read after free err = %v", err)
+	}
+	// Freeing a pinned page must fail.
+	ids = allocPages(t, pool, 1)
+	f, _ := pool.Get(ids[0])
+	if err := pool.Free(ids[0]); err == nil {
+		t.Fatal("Free of pinned page succeeded")
+	}
+	pool.Unpin(f)
+}
+
+func TestCloseFlushesAndBlocks(t *testing.T) {
+	pool, _, pager := newPool(t, 4)
+	ids := allocPages(t, pool, 1)
+	f, _ := pool.Get(ids[0])
+	f.Data()[0] = 9
+	f.MarkDirty()
+	pool.Unpin(f)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := pager.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("Close did not flush")
+	}
+	if _, err := pool.Get(ids[0]); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Get after close err = %v", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	pool, _, _ := newPool(t, 3)
+	ids := allocPages(t, pool, 4)
+	pool.ResetStats()
+	get := func(id storage.PageID) {
+		f, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Unpin(f)
+	}
+	get(ids[0])
+	get(ids[1])
+	get(ids[2])
+	get(ids[0])       // touch 0: LRU order is now 1,2,0
+	get(ids[3])       // evicts 1
+	pool.ResetStats() // now probe: 0 and 2 should hit, 1 should miss
+	get(ids[0])
+	get(ids[2])
+	st := pool.Stats()
+	if st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("probe stats = %+v; LRU evicted the wrong page", st)
+	}
+	get(ids[1])
+	if st := pool.Stats(); st.Misses != 1 {
+		t.Fatalf("page 1 should have been evicted: %+v", st)
+	}
+}
+
+func TestNilDiskAllowed(t *testing.T) {
+	pager, _ := storage.NewMemPager(64)
+	pool, err := New(pager, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	pool.Unpin(f)
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadCapacity(t *testing.T) {
+	pager, _ := storage.NewMemPager(64)
+	if _, err := New(pager, nil, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestConcurrentGetUnpin(t *testing.T) {
+	pool, _, _ := newPool(t, 8)
+	ids := allocPages(t, pool, 16)
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(seed*31+i)%len(ids)]
+				f, err := pool.Get(id)
+				if err != nil {
+					// Pool can momentarily be full of pinned frames under
+					// contention; that is a defined, recoverable condition.
+					if errors.Is(err, ErrPoolFull) {
+						continue
+					}
+					errs <- err
+					return
+				}
+				if f.ID() != id {
+					errs <- errors.New("frame identity mismatch")
+					return
+				}
+				if err := pool.Unpin(f); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ordinal"
+	"repro/internal/relation"
+)
+
+// encodeAVQ writes the full AVQ payload: the index and bytes of the median
+// representative tuple followed by chained differences (Sections 3.4 and
+// Examples 3.2/3.3).
+//
+// For i < mid the stored difference is t[i+1] - t[i] (with t[mid] the
+// representative); for i > mid it is t[i] - t[i-1]. Either way every stored
+// value is the difference of phi-adjacent tuples in the block, which is
+// what makes the leading-zero runs long.
+func encodeAVQ(s *relation.Schema, tuples []relation.Tuple, dst []byte) ([]byte, error) {
+	u := len(tuples)
+	if u == 0 {
+		return dst, nil
+	}
+	mid := u / 2
+	dst = appendUvarint(dst, uint64(mid))
+	dst = s.EncodeTuple(dst, tuples[mid])
+	diff := make(relation.Tuple, s.NumAttrs())
+	scratch := make([]byte, 0, s.RowSize())
+	for i := 0; i < mid; i++ {
+		if _, err := ordinal.Sub(s, diff, tuples[i+1], tuples[i]); err != nil {
+			return nil, fmt.Errorf("core: avq encode tuple %d: block not phi-sorted: %w", i, err)
+		}
+		dst = appendDiff(s, dst, diff, scratch)
+	}
+	for i := mid + 1; i < u; i++ {
+		if _, err := ordinal.Sub(s, diff, tuples[i], tuples[i-1]); err != nil {
+			return nil, fmt.Errorf("core: avq encode tuple %d: block not phi-sorted: %w", i, err)
+		}
+		dst = appendDiff(s, dst, diff, scratch)
+	}
+	return dst, nil
+}
+
+// decodeAVQ reconstructs the block outward from the representative: tuples
+// before it are recovered back-to-front by repeated subtraction, tuples
+// after it front-to-back by repeated addition.
+func decodeAVQ(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+	if count == 0 {
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in empty block", ErrCorrupt, len(body))
+		}
+		return nil, nil
+	}
+	mid, pos, err := readUvarint(body, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: representative index: %v", ErrCorrupt, err)
+	}
+	if mid >= uint64(count) {
+		return nil, fmt.Errorf("%w: representative index %d >= tuple count %d", ErrCorrupt, mid, count)
+	}
+	m := s.RowSize()
+	if pos+m > len(body) {
+		return nil, ErrTruncated
+	}
+	rep, err := s.DecodeTuple(body[pos : pos+m])
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDigits(s, rep); err != nil {
+		return nil, err
+	}
+	pos += m
+
+	out := make([]relation.Tuple, count)
+	out[int(mid)] = rep
+	n := s.NumAttrs()
+	scratch := make([]byte, m)
+
+	// Differences for tuples before the representative are stored in block
+	// order t0..t[mid-1] but must be applied in reverse, so buffer them.
+	before := make([]relation.Tuple, mid)
+	for i := range before {
+		d := make(relation.Tuple, n)
+		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			return nil, err
+		}
+		if err := validateDigits(s, d); err != nil {
+			return nil, err
+		}
+		before[i] = d
+	}
+	for i := int(mid) - 1; i >= 0; i-- {
+		t := make(relation.Tuple, n)
+		if _, err := ordinal.Sub(s, t, out[i+1], before[i]); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out[i] = t
+	}
+
+	d := make(relation.Tuple, n)
+	for i := int(mid) + 1; i < count; i++ {
+		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			return nil, err
+		}
+		if err := validateDigits(s, d); err != nil {
+			return nil, err
+		}
+		t := make(relation.Tuple, n)
+		if _, err := ordinal.Add(s, t, out[i-1], d); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out[i] = t
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after block payload", ErrCorrupt, len(body)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func employeeSchema(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Domain{Name: "dept", Size: 8},
+		relation.Domain{Name: "job", Size: 16},
+		relation.Domain{Name: "years", Size: 64},
+		relation.Domain{Name: "hours", Size: 64},
+		relation.Domain{Name: "empno", Size: 64},
+	)
+}
+
+// fig33Block is the block of Example 3.2 / Figure 3.3 (a), already in phi
+// order, with the representative (3,08,36,39,35) in the middle.
+func fig33Block() []relation.Tuple {
+	return []relation.Tuple{
+		{3, 8, 32, 25, 19},
+		{3, 8, 32, 34, 12},
+		{3, 8, 36, 39, 35},
+		{3, 9, 24, 32, 0},
+		{3, 9, 26, 27, 37},
+	}
+}
+
+// TestAVQPaperStream verifies that the AVQ payload for the Figure 3.3 block
+// is byte-for-byte the stream printed at the end of Section 3.4:
+//
+//	3 08 36 39 35 | 3 08 57 | 2 04 05 23 | 2 51 56 29 | 2 01 59 37
+//
+// (representative tuple, then count-byte-prefixed chained differences).
+func TestAVQPaperStream(t *testing.T) {
+	s := employeeSchema(t)
+	enc, err := EncodeBlock(CodecAVQ, s, fig33Block(), nil)
+	if err != nil {
+		t.Fatalf("EncodeBlock: %v", err)
+	}
+	// Strip framing: magic, codec, count uvarint (5 -> 1 byte),
+	// representative index uvarint (2 -> 1 byte) and the trailing CRC.
+	payload := enc[4 : len(enc)-crcSize]
+	want := []byte{
+		3, 8, 36, 39, 35, // representative
+		3, 8, 57, // 569 with 3 leading zero bytes
+		2, 4, 5, 23, // 16727 with 2 leading zero bytes
+		2, 51, 56, 29, // 212509
+		2, 1, 59, 37, // 7909
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatalf("payload = % d\nwant      = % d", payload, want)
+	}
+}
+
+// TestAVQPaperInsertion reproduces Figure 4.6: inserting the tuple with
+// ordinal 14812800 into the Figure 3.3 block yields recomputed differences
+// 45 and 524 for the tuples before the (unchanged) representative.
+//
+// The paper writes the inserted tuple as (3,08,32,25,64), but employee
+// number 64 is outside the stated |A5| = 64 domain (valid digits 0..63);
+// in mixed radix that digit carries, so the canonical in-domain tuple with
+// the same ordinal — and the same differences — is (3,08,32,26,0).
+func TestAVQPaperInsertion(t *testing.T) {
+	s := employeeSchema(t)
+	block := fig33Block()
+	ins := relation.Tuple{3, 8, 32, 26, 0}
+	block = append(block[:1], append([]relation.Tuple{ins}, block[1:]...)...)
+	if !s.TuplesSorted(block) {
+		t.Fatal("insertion position wrong")
+	}
+	enc, err := EncodeBlock(CodecAVQ, s, block, nil)
+	if err != nil {
+		t.Fatalf("EncodeBlock: %v", err)
+	}
+	// u=6, mid=3: the representative is still (3,08,36,39,35).
+	payload := enc[4 : len(enc)-crcSize]
+	want := []byte{
+		3, 8, 36, 39, 35, // representative unchanged (Fig 4.6)
+		4, 45, // 45: difference new-tuple minus predecessor
+		3, 8, 12, // 524
+		2, 4, 5, 23, // 16727
+		2, 51, 56, 29, // 212509
+		2, 1, 59, 37, // 7909
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatalf("payload = % d\nwant      = % d", payload, want)
+	}
+	got, err := DecodeBlock(s, enc)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	if len(got) != len(block) {
+		t.Fatalf("decoded %d tuples, want %d", len(got), len(block))
+	}
+	for i := range block {
+		if s.Compare(got[i], block[i]) != 0 {
+			t.Fatalf("tuple %d: got %v want %v", i, got[i], block[i])
+		}
+	}
+}
+
+func allCodecs() []Codec {
+	return []Codec{CodecRaw, CodecAVQ, CodecRepOnly, CodecDeltaChain, CodecPacked}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	s := employeeSchema(t)
+	block := fig33Block()
+	for _, c := range allCodecs() {
+		enc, err := EncodeBlock(c, s, block, nil)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", c, err)
+		}
+		got, err := DecodeBlock(s, enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", c, err)
+		}
+		if len(got) != len(block) {
+			t.Fatalf("%v: decoded %d tuples, want %d", c, len(got), len(block))
+		}
+		for i := range block {
+			if s.Compare(got[i], block[i]) != 0 {
+				t.Fatalf("%v: tuple %d: got %v want %v", c, i, got[i], block[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripEdgeSizes(t *testing.T) {
+	s := employeeSchema(t)
+	full := fig33Block()
+	for _, u := range []int{0, 1, 2, 3} {
+		for _, c := range allCodecs() {
+			enc, err := EncodeBlock(c, s, full[:u], nil)
+			if err != nil {
+				t.Fatalf("%v u=%d: encode: %v", c, u, err)
+			}
+			got, err := DecodeBlock(s, enc)
+			if err != nil {
+				t.Fatalf("%v u=%d: decode: %v", c, u, err)
+			}
+			if len(got) != u {
+				t.Fatalf("%v u=%d: decoded %d tuples", c, u, len(got))
+			}
+		}
+	}
+}
+
+func TestRoundTripDuplicates(t *testing.T) {
+	s := employeeSchema(t)
+	dup := relation.Tuple{3, 8, 36, 39, 35}
+	block := []relation.Tuple{dup, dup.Clone(), dup.Clone(), {3, 9, 0, 0, 0}}
+	for _, c := range allCodecs() {
+		enc, err := EncodeBlock(c, s, block, nil)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", c, err)
+		}
+		got, err := DecodeBlock(s, enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", c, err)
+		}
+		for i := range block {
+			if s.Compare(got[i], block[i]) != 0 {
+				t.Fatalf("%v: tuple %d mismatch", c, i)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsUnsorted(t *testing.T) {
+	s := employeeSchema(t)
+	block := fig33Block()
+	block[0], block[4] = block[4], block[0]
+	for _, c := range []Codec{CodecAVQ, CodecRepOnly, CodecDeltaChain} {
+		if _, err := EncodeBlock(c, s, block, nil); err == nil {
+			t.Errorf("%v: encoded an unsorted block without error", c)
+		}
+	}
+}
+
+func TestEncodeRejectsBadCodec(t *testing.T) {
+	s := employeeSchema(t)
+	if _, err := EncodeBlock(Codec(99), s, fig33Block(), nil); err == nil {
+		t.Fatal("expected error for unknown codec")
+	}
+}
+
+// randomSortedBlock builds a phi-sorted run of n random tuples for s.
+func randomSortedBlock(s *relation.Schema, rng *rand.Rand, n int) []relation.Tuple {
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tu := make(relation.Tuple, s.NumAttrs())
+		for j := 0; j < s.NumAttrs(); j++ {
+			tu[j] = uint64(rng.Int63n(int64(s.Domain(j).Size)))
+		}
+		tuples[i] = tu
+	}
+	s.SortTuples(tuples)
+	return tuples
+}
+
+// randomSchema builds a random schema with 1..8 attributes of size 2..5000.
+func randomSchema(rng *rand.Rand) *relation.Schema {
+	n := 1 + rng.Intn(8)
+	doms := make([]relation.Domain, n)
+	for i := range doms {
+		doms[i] = relation.Domain{
+			Name: string(rune('a' + i)),
+			Size: uint64(2 + rng.Intn(4999)),
+		}
+	}
+	return relation.MustSchema(doms...)
+}
+
+// TestRoundTripRandomSchemas is the central lossless property (Theorem 2.1):
+// for random schemas and random sorted blocks, decode(encode(x)) == x for
+// every codec.
+func TestRoundTripRandomSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 150; iter++ {
+		s := randomSchema(rng)
+		block := randomSortedBlock(s, rng, rng.Intn(200))
+		for _, c := range allCodecs() {
+			enc, err := EncodeBlock(c, s, block, nil)
+			if err != nil {
+				t.Fatalf("iter %d %v: encode: %v", iter, c, err)
+			}
+			got, err := DecodeBlock(s, enc)
+			if err != nil {
+				t.Fatalf("iter %d %v: decode: %v", iter, c, err)
+			}
+			if len(got) != len(block) {
+				t.Fatalf("iter %d %v: decoded %d tuples, want %d", iter, c, len(got), len(block))
+			}
+			for i := range block {
+				if s.Compare(got[i], block[i]) != 0 {
+					t.Fatalf("iter %d %v: tuple %d: got %v want %v", iter, c, i, got[i], block[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAVQBeatsRawOnClusteredData checks the compression claim on data with
+// the locality the paper's re-ordering creates.
+func TestAVQBeatsRawOnClusteredData(t *testing.T) {
+	s := employeeSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	block := randomSortedBlock(s, rng, 500)
+	rawSize, err := EncodedSize(CodecRaw, s, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avqSize, err := EncodedSize(CodecAVQ, s, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avqSize >= rawSize {
+		t.Fatalf("AVQ (%d bytes) did not beat raw (%d bytes) on a sorted block", avqSize, rawSize)
+	}
+	t.Logf("raw=%d avq=%d reduction=%.1f%%", rawSize, avqSize, 100*(1-float64(avqSize)/float64(rawSize)))
+}
+
+func TestEncodedSizeMatchesEncodeBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 80; iter++ {
+		s := randomSchema(rng)
+		block := randomSortedBlock(s, rng, rng.Intn(300))
+		for _, c := range allCodecs() {
+			want, err := EncodedSize(c, s, block)
+			if err != nil {
+				t.Fatalf("%v: EncodedSize: %v", c, err)
+			}
+			enc, err := EncodeBlock(c, s, block, nil)
+			if err != nil {
+				t.Fatalf("%v: EncodeBlock: %v", c, err)
+			}
+			if len(enc) != want {
+				t.Fatalf("iter %d %v: EncodedSize=%d but stream is %d bytes (u=%d)",
+					iter, c, want, len(enc), len(block))
+			}
+		}
+	}
+}
+
+func TestMaxFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 40; iter++ {
+		s := randomSchema(rng)
+		block := randomSortedBlock(s, rng, 100+rng.Intn(200))
+		capacity := 512 + rng.Intn(4096)
+		for _, c := range allCodecs() {
+			u, err := MaxFit(c, s, block, capacity)
+			if err != nil {
+				t.Fatalf("%v: MaxFit: %v", c, err)
+			}
+			if u > 0 {
+				size, err := EncodedSize(c, s, block[:u])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if size > capacity {
+					t.Fatalf("%v: MaxFit=%d but size %d > capacity %d", c, u, size, capacity)
+				}
+			}
+			// Maximality: u+1 must not fit (allowing the rep-only codec's
+			// small non-monotonicity, where a larger block can occasionally
+			// be smaller; skip the check there).
+			if c != CodecRepOnly && u < len(block) {
+				size, err := EncodedSize(c, s, block[:u+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if size <= capacity {
+					t.Fatalf("%v: MaxFit=%d not maximal: %d tuples fit in %d bytes",
+						c, u, u+1, capacity)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFitEmptyAndTiny(t *testing.T) {
+	s := employeeSchema(t)
+	for _, c := range allCodecs() {
+		u, err := MaxFit(c, s, nil, 8192)
+		if err != nil || u != 0 {
+			t.Fatalf("%v: MaxFit(empty) = %d, %v", c, u, err)
+		}
+		u, err = MaxFit(c, s, fig33Block(), 3) // nothing fits in 3 bytes
+		if err != nil || u != 0 {
+			t.Fatalf("%v: MaxFit(cap=3) = %d, %v", c, u, err)
+		}
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	s := employeeSchema(t)
+	rng := rand.New(rand.NewSource(31))
+	block := randomSortedBlock(s, rng, 50)
+	for _, c := range allCodecs() {
+		enc, err := EncodeBlock(c, s, block, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			bad := append([]byte(nil), enc...)
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+			if bytes.Equal(bad, enc) {
+				continue
+			}
+			if _, err := DecodeBlock(s, bad); err == nil {
+				t.Fatalf("%v: single-bit corruption decoded without error", c)
+			}
+		}
+	}
+}
+
+func TestDecodeDetectsTruncation(t *testing.T) {
+	s := employeeSchema(t)
+	enc, err := EncodeBlock(CodecAVQ, s, fig33Block(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeBlock(s, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagicAndCodec(t *testing.T) {
+	s := employeeSchema(t)
+	enc, err := EncodeBlock(CodecAVQ, s, fig33Block(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0x00
+	if _, err := DecodeBlock(s, bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	s := employeeSchema(t)
+	enc, err := EncodeBlock(CodecAVQ, s, fig33Block(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(enc)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Codec != CodecAVQ || info.TupleCount != 5 || info.StreamSize != len(enc) {
+		t.Fatalf("Inspect = %+v", info)
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	want := map[Codec]string{
+		CodecRaw: "raw", CodecAVQ: "avq",
+		CodecRepOnly: "rep-only", CodecDeltaChain: "delta-chain",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), w)
+		}
+	}
+	if Codec(42).Valid() {
+		t.Fatal("Codec(42) claims valid")
+	}
+}
+
+// TestChainedBeatsUnchained validates the benefit of Example 3.3 that the
+// ablation experiment quantifies: the chained codec never produces a larger
+// stream than the unchained one on sorted blocks, and usually a smaller one.
+func TestChainedBeatsUnchained(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	wins := 0
+	for iter := 0; iter < 50; iter++ {
+		s := randomSchema(rng)
+		block := randomSortedBlock(s, rng, 200)
+		chained, err := EncodedSize(CodecAVQ, s, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unchained, err := EncodedSize(CodecRepOnly, s, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chained < unchained {
+			wins++
+		}
+	}
+	if wins < 35 {
+		t.Fatalf("chained differencing beat unchained only %d/50 times", wins)
+	}
+}

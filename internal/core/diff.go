@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// appendDiff serializes one difference tuple: the run of leading zero bytes
+// of its fixed-width form is replaced by a single count byte (capped at 255
+// for very wide schemas), followed by the remaining tail bytes. scratch is a
+// reusable buffer of at least RowSize capacity.
+func appendDiff(s *relation.Schema, dst []byte, diff relation.Tuple, scratch []byte) []byte {
+	scratch = s.EncodeTuple(scratch[:0], diff)
+	lz := 0
+	for lz < len(scratch) && scratch[lz] == 0 {
+		lz++
+	}
+	if lz > 255 {
+		lz = 255
+	}
+	dst = append(dst, byte(lz))
+	return append(dst, scratch[lz:]...)
+}
+
+// diffSize returns the encoded size in bytes of one difference tuple
+// without serializing it: one count byte plus the non-zero-prefixed tail.
+func diffSize(s *relation.Schema, diff relation.Tuple) int {
+	lz := 0
+	n := s.NumAttrs()
+	for i := 0; i < n; i++ {
+		w := s.AttrWidth(i)
+		v := diff[i]
+		if v == 0 {
+			lz += w
+			continue
+		}
+		// Count the leading zero bytes inside this attribute's fixed width.
+		for shift := (w - 1) * 8; shift > 0; shift -= 8 {
+			if byte(v>>uint(shift)) != 0 {
+				break
+			}
+			lz++
+		}
+		break
+	}
+	if lz > 255 {
+		lz = 255
+	}
+	return 1 + s.RowSize() - lz
+}
+
+// readDiff parses one serialized difference starting at buf[pos], storing
+// the digits into dst, and returns the new position. scratch must have
+// RowSize capacity.
+func readDiff(s *relation.Schema, buf []byte, pos int, dst relation.Tuple, scratch []byte) (int, error) {
+	m := s.RowSize()
+	if pos >= len(buf) {
+		return 0, ErrTruncated
+	}
+	lz := int(buf[pos])
+	pos++
+	if lz > m {
+		return 0, fmt.Errorf("%w: leading-zero count %d exceeds tuple size %d", ErrCorrupt, lz, m)
+	}
+	tail := m - lz
+	if pos+tail > len(buf) {
+		return 0, ErrTruncated
+	}
+	scratch = scratch[:m]
+	for i := 0; i < lz; i++ {
+		scratch[i] = 0
+	}
+	copy(scratch[lz:], buf[pos:pos+tail])
+	pos += tail
+	// Decode fixed-width digits directly into dst; this is the hot loop of
+	// block decoding (t2 in the paper's cost model), so it avoids the
+	// allocation a DecodeTuple call would make per difference.
+	off := 0
+	for i := 0; i < s.NumAttrs(); i++ {
+		var v uint64
+		for j := 0; j < s.AttrWidth(i); j++ {
+			v = v<<8 | uint64(scratch[off])
+			off++
+		}
+		dst[i] = v
+	}
+	return pos, nil
+}
+
+// validateDigits rejects difference tuples whose digits exceed their radix:
+// a valid difference of two ordinals below ||R|| is itself a tuple of the
+// schema, so an out-of-radix digit can only come from corruption.
+func validateDigits(s *relation.Schema, t relation.Tuple) error {
+	for i, v := range t {
+		if v >= s.Domain(i).Size {
+			return fmt.Errorf("%w: digit %d value %d outside radix %d", ErrCorrupt, i, v, s.Domain(i).Size)
+		}
+	}
+	return nil
+}

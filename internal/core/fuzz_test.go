@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// FuzzDecodeBlock drives DecodeBlock and DecodeTupleAt with arbitrary
+// bytes. Properties: no panics; anything that decodes successfully
+// re-encodes to a stream that decodes to the same tuples (decode is a
+// retraction of encode).
+func FuzzDecodeBlock(f *testing.F) {
+	s := relation.MustSchema(
+		relation.Domain{Name: "a", Size: 8},
+		relation.Domain{Name: "b", Size: 300},
+		relation.Domain{Name: "c", Size: 64},
+	)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range allCodecs() {
+		block := randomSortedBlock(s, rng, 20)
+		enc, err := EncodeBlock(c, s, block, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xA7, 0x01, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tuples, err := DecodeBlock(s, data)
+		if err != nil {
+			return
+		}
+		for _, tu := range tuples {
+			if err := s.ValidateTuple(tu); err != nil {
+				t.Fatalf("decode produced invalid tuple %v: %v", tu, err)
+			}
+		}
+		// Partial decode must agree wherever the full decode succeeded.
+		for idx := range tuples {
+			got, err := DecodeTupleAt(s, data, idx)
+			if err != nil {
+				t.Fatalf("full decode succeeded but partial at %d failed: %v", idx, err)
+			}
+			if s.Compare(got, tuples[idx]) != 0 {
+				t.Fatalf("partial decode at %d disagrees", idx)
+			}
+		}
+		// Re-encode and compare (the tuples are sorted by construction of
+		// any successfully decoded stream for the chained codecs; raw and
+		// rep-only blocks may decode unsorted tuples, so only check when
+		// sorted).
+		if !s.TuplesSorted(tuples) {
+			return
+		}
+		info, err := Inspect(data)
+		if err != nil {
+			t.Fatalf("decoded but Inspect failed: %v", err)
+		}
+		enc, err := EncodeBlock(info.Codec, s, tuples, nil)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := DecodeBlock(s, enc)
+		if err != nil {
+			t.Fatalf("re-encoded stream does not decode: %v", err)
+		}
+		if len(back) != len(tuples) {
+			t.Fatalf("round trip changed tuple count %d -> %d", len(tuples), len(back))
+		}
+		for i := range back {
+			if s.Compare(back[i], tuples[i]) != 0 {
+				t.Fatalf("round trip changed tuple %d", i)
+			}
+		}
+	})
+}
+
+// FuzzEncodeArbitraryTuples feeds arbitrary digit material through the
+// sort-encode-decode pipeline.
+func FuzzEncodeArbitraryTuples(f *testing.F) {
+	s := relation.MustSchema(
+		relation.Domain{Name: "a", Size: 16},
+		relation.Domain{Name: "b", Size: 1000},
+	)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{0}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tuples []relation.Tuple
+		for i := 0; i+3 <= len(data) && len(tuples) < 64; i += 3 {
+			tuples = append(tuples, relation.Tuple{
+				uint64(data[i]) % 16,
+				(uint64(data[i+1])<<8 | uint64(data[i+2])) % 1000,
+			})
+		}
+		s.SortTuples(tuples)
+		for _, c := range allCodecs() {
+			enc, err := EncodeBlock(c, s, tuples, nil)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", c, err)
+			}
+			got, err := DecodeBlock(s, enc)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", c, err)
+			}
+			if len(got) != len(tuples) {
+				t.Fatalf("%v: count changed", c)
+			}
+			for i := range got {
+				if s.Compare(got[i], tuples[i]) != 0 {
+					t.Fatalf("%v: tuple %d changed", c, i)
+				}
+			}
+		}
+	})
+}

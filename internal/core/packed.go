@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/ordinal"
+	"repro/internal/relation"
+)
+
+// CodecPacked is the bit-packed extension of AVQ. The paper's count-byte
+// scheme works at byte granularity: every digit occupies whole bytes and
+// the zero run is counted in bytes. When domain sizes are not powers of
+// 256 that wastes bits per digit (a size-200 domain uses 8 bits where
+// log2(200) ~ 7.6, a size-64 domain wastes 2 of 8). The packed codec keeps
+// the AVQ structure — median representative, chained adjacent differences —
+// but stores each difference as:
+//
+//	leading-zero digit count, in ceil(log2(n+1)) bits
+//	each remaining digit i, in ceil(log2 |A_i|) bits
+//
+// concatenated into one bit stream. This is the natural "further
+// compression" step within the paper's framework and is evaluated in the
+// ablation experiment.
+
+// packedBitWidths returns the per-attribute digit widths in bits and the
+// suffix sums used for size accounting: suffix[i] = bits of digits i..n-1.
+func packedBitWidths(s *relation.Schema) (widths []uint, suffix []int) {
+	n := s.NumAttrs()
+	widths = make([]uint, n)
+	suffix = make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		widths[i] = bitio.BitsFor(s.Domain(i).Size)
+		suffix[i] = suffix[i+1] + int(widths[i])
+	}
+	return widths, suffix
+}
+
+// leadingZeroDigits counts the leading all-zero attributes of diff.
+func leadingZeroDigits(diff relation.Tuple) int {
+	lz := 0
+	for _, v := range diff {
+		if v != 0 {
+			break
+		}
+		lz++
+	}
+	return lz
+}
+
+// packedDiffBits returns the encoded size of one difference in bits.
+func packedDiffBits(diff relation.Tuple, lzWidth uint, suffix []int) int {
+	return int(lzWidth) + suffix[leadingZeroDigits(diff)]
+}
+
+// encodePacked writes the packed-AVQ payload: representative index and
+// tuple (byte-aligned, as in CodecAVQ), then the bit stream of chained
+// differences.
+func encodePacked(s *relation.Schema, tuples []relation.Tuple, dst []byte) ([]byte, error) {
+	u := len(tuples)
+	if u == 0 {
+		return dst, nil
+	}
+	mid := u / 2
+	dst = appendUvarint(dst, uint64(mid))
+	dst = s.EncodeTuple(dst, tuples[mid])
+
+	n := s.NumAttrs()
+	widths, _ := packedBitWidths(s)
+	lzWidth := bitio.BitsFor(uint64(n) + 1)
+	w := bitio.NewWriter(nil)
+	diff := make(relation.Tuple, n)
+	emit := func(d relation.Tuple) {
+		lz := leadingZeroDigits(d)
+		w.WriteBits(uint64(lz), lzWidth)
+		for i := lz; i < n; i++ {
+			w.WriteBits(d[i], widths[i])
+		}
+	}
+	for i := 0; i < mid; i++ {
+		if _, err := ordinal.Sub(s, diff, tuples[i+1], tuples[i]); err != nil {
+			return nil, fmt.Errorf("core: packed encode tuple %d: block not phi-sorted: %w", i, err)
+		}
+		emit(diff)
+	}
+	for i := mid + 1; i < u; i++ {
+		if _, err := ordinal.Sub(s, diff, tuples[i], tuples[i-1]); err != nil {
+			return nil, fmt.Errorf("core: packed encode tuple %d: block not phi-sorted: %w", i, err)
+		}
+		emit(diff)
+	}
+	return append(dst, w.Bytes()...), nil
+}
+
+// decodePacked reconstructs a packed-AVQ block.
+func decodePacked(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+	if count == 0 {
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in empty block", ErrCorrupt, len(body))
+		}
+		return nil, nil
+	}
+	mid64, pos, err := readUvarint(body, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: representative index: %v", ErrCorrupt, err)
+	}
+	if mid64 >= uint64(count) {
+		return nil, fmt.Errorf("%w: representative index %d >= tuple count %d", ErrCorrupt, mid64, count)
+	}
+	mid := int(mid64)
+	m := s.RowSize()
+	if pos+m > len(body) {
+		return nil, ErrTruncated
+	}
+	rep, err := s.DecodeTuple(body[pos : pos+m])
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDigits(s, rep); err != nil {
+		return nil, err
+	}
+	pos += m
+
+	n := s.NumAttrs()
+	widths, _ := packedBitWidths(s)
+	lzWidth := bitio.BitsFor(uint64(n) + 1)
+	r := bitio.NewReader(body[pos:])
+	readDiff := func() (relation.Tuple, error) {
+		lz64, err := r.ReadBits(lzWidth)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		lz := int(lz64)
+		if lz > n {
+			return nil, fmt.Errorf("%w: leading-zero digit count %d exceeds arity %d", ErrCorrupt, lz, n)
+		}
+		d := make(relation.Tuple, n)
+		for i := lz; i < n; i++ {
+			v, err := r.ReadBits(widths[i])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+			}
+			if v >= s.Domain(i).Size {
+				return nil, fmt.Errorf("%w: digit %d value %d outside radix %d", ErrCorrupt, i, v, s.Domain(i).Size)
+			}
+			d[i] = v
+		}
+		return d, nil
+	}
+
+	out := make([]relation.Tuple, count)
+	out[mid] = rep
+	before := make([]relation.Tuple, mid)
+	for i := range before {
+		if before[i], err = readDiff(); err != nil {
+			return nil, err
+		}
+	}
+	for i := mid - 1; i >= 0; i-- {
+		t := make(relation.Tuple, n)
+		if _, err := ordinal.Sub(s, t, out[i+1], before[i]); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out[i] = t
+	}
+	for i := mid + 1; i < count; i++ {
+		d, err := readDiff()
+		if err != nil {
+			return nil, err
+		}
+		t := make(relation.Tuple, n)
+		if _, err := ordinal.Add(s, t, out[i-1], d); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out[i] = t
+	}
+	if r.Remaining() >= 8 {
+		return nil, fmt.Errorf("%w: %d trailing bits after block payload", ErrCorrupt, r.Remaining())
+	}
+	return out, nil
+}

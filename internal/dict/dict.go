@@ -1,0 +1,169 @@
+// Package dict implements attribute encoding (Section 3.1 of the paper):
+// mapping raw attribute values — strings in particular — onto small integer
+// ordinals so that a relation becomes a table of numeric tuples ready for
+// the ordinal mapping phi and AVQ coding.
+//
+// Two dictionary flavours are provided:
+//
+//   - Closed: the full value set is known in advance; each value maps to its
+//     ordinal (sorted) position in the domain, so dictionary order preserves
+//     value order. This matches the paper's "discrete finite domains where
+//     all the attribute values are known in advance".
+//   - Open: values arrive incrementally and are assigned codes in first-seen
+//     order, as in the string-table scheme of Graefe & Shapiro that the
+//     paper cites for alphanumeric strings.
+//
+// Both are losslessly serializable so that a compressed relation file is
+// self-contained.
+package dict
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUnknownValue is returned by Code when a value is not in a closed
+// dictionary.
+var ErrUnknownValue = errors.New("dict: value not in dictionary")
+
+// Dict maps string values to dense uint64 codes and back.
+type Dict struct {
+	byValue map[string]uint64
+	byCode  []string
+	closed  bool
+}
+
+// NewClosed builds an order-preserving dictionary over the given value set.
+// Values are deduplicated and sorted; code i is the i-th smallest value, so
+// code order equals lexicographic value order and range predicates on the
+// raw values translate directly to range predicates on codes.
+func NewClosed(values []string) *Dict {
+	uniq := make([]string, 0, len(values))
+	seen := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Strings(uniq)
+	d := &Dict{
+		byValue: make(map[string]uint64, len(uniq)),
+		byCode:  uniq,
+		closed:  true,
+	}
+	for i, v := range uniq {
+		d.byValue[v] = uint64(i)
+	}
+	return d
+}
+
+// NewOpen builds an empty dictionary that assigns codes in first-seen order
+// via CodeOrAdd.
+func NewOpen() *Dict {
+	return &Dict{byValue: make(map[string]uint64)}
+}
+
+// Closed reports whether the dictionary's value set is fixed.
+func (d *Dict) Closed() bool { return d.closed }
+
+// Len returns the number of distinct values in the dictionary, i.e. the
+// encoded domain size |A_i|.
+func (d *Dict) Len() int { return len(d.byCode) }
+
+// Code returns the code for value v. For closed dictionaries, an unknown
+// value yields ErrUnknownValue. For open dictionaries it does not mutate the
+// dictionary; use CodeOrAdd to admit new values.
+func (d *Dict) Code(v string) (uint64, error) {
+	c, ok := d.byValue[v]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownValue, v)
+	}
+	return c, nil
+}
+
+// CodeOrAdd returns the code for v, assigning the next free code if v is new.
+// It returns an error on closed dictionaries when v is unknown.
+func (d *Dict) CodeOrAdd(v string) (uint64, error) {
+	if c, ok := d.byValue[v]; ok {
+		return c, nil
+	}
+	if d.closed {
+		return 0, fmt.Errorf("%w: %q (dictionary is closed)", ErrUnknownValue, v)
+	}
+	c := uint64(len(d.byCode))
+	d.byValue[v] = c
+	d.byCode = append(d.byCode, v)
+	return c, nil
+}
+
+// Value returns the value for a code.
+func (d *Dict) Value(code uint64) (string, error) {
+	if code >= uint64(len(d.byCode)) {
+		return "", fmt.Errorf("dict: code %d out of range [0,%d)", code, len(d.byCode))
+	}
+	return d.byCode[code], nil
+}
+
+// Values returns a copy of the code-ordered value list.
+func (d *Dict) Values() []string {
+	out := make([]string, len(d.byCode))
+	copy(out, d.byCode)
+	return out
+}
+
+// AppendBinary serializes the dictionary: a one-byte closed flag, a uvarint
+// count, then length-prefixed values in code order.
+func (d *Dict) AppendBinary(dst []byte) []byte {
+	if d.closed {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.byCode)))
+	for _, v := range d.byCode {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeBinary parses a dictionary serialized by AppendBinary and returns
+// it together with the number of bytes consumed.
+func DecodeBinary(buf []byte) (*Dict, int, error) {
+	if len(buf) < 1 {
+		return nil, 0, errors.New("dict: truncated header")
+	}
+	closed := buf[0] == 1
+	pos := 1
+	count, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return nil, 0, errors.New("dict: bad value count")
+	}
+	pos += n
+	d := &Dict{
+		byValue: make(map[string]uint64, count),
+		byCode:  make([]string, 0, count),
+		closed:  closed,
+	}
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("dict: bad length for value %d", i)
+		}
+		pos += n
+		if uint64(len(buf)-pos) < l {
+			return nil, 0, fmt.Errorf("dict: truncated value %d", i)
+		}
+		v := string(buf[pos : pos+int(l)])
+		pos += int(l)
+		if _, dup := d.byValue[v]; dup {
+			return nil, 0, fmt.Errorf("dict: duplicate value %q", v)
+		}
+		d.byValue[v] = uint64(len(d.byCode))
+		d.byCode = append(d.byCode, v)
+	}
+	return d, pos, nil
+}

@@ -1,0 +1,186 @@
+package dict
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClosedOrderPreserving(t *testing.T) {
+	d := NewClosed([]string{"marketing", "production", "management", "personnel", "marketing"})
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (dedup)", d.Len())
+	}
+	values := d.Values()
+	if !sort.StringsAreSorted(values) {
+		t.Fatalf("values not sorted: %v", values)
+	}
+	for i := 1; i < len(values); i++ {
+		a, _ := d.Code(values[i-1])
+		b, _ := d.Code(values[i])
+		if a >= b {
+			t.Fatalf("codes not order preserving: %q=%d %q=%d", values[i-1], a, values[i], b)
+		}
+	}
+}
+
+func TestClosedUnknownValue(t *testing.T) {
+	d := NewClosed([]string{"a", "b"})
+	if _, err := d.Code("c"); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("Code(unknown) err = %v", err)
+	}
+	if _, err := d.CodeOrAdd("c"); !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("CodeOrAdd on closed dict err = %v", err)
+	}
+	if !d.Closed() {
+		t.Fatal("closed dict reports open")
+	}
+}
+
+func TestOpenAssignsFirstSeenOrder(t *testing.T) {
+	d := NewOpen()
+	if d.Closed() {
+		t.Fatal("open dict reports closed")
+	}
+	for i, v := range []string{"zebra", "apple", "zebra", "mango"} {
+		c, err := d.CodeOrAdd(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i)
+		if v == "zebra" && i == 2 {
+			want = 0
+		}
+		if i == 3 {
+			want = 2
+		}
+		if c != want {
+			t.Fatalf("CodeOrAdd(%q) = %d, want %d", v, c, want)
+		}
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	d := NewClosed([]string{"x", "y", "z"})
+	for _, v := range d.Values() {
+		c, err := d.Code(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := d.Value(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatalf("round trip %q -> %d -> %q", v, c, back)
+		}
+	}
+	if _, err := d.Value(99); err == nil {
+		t.Fatal("Value(out of range) succeeded")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	for _, build := range []func() *Dict{
+		func() *Dict { return NewClosed([]string{"alpha", "beta", "", "gamma with spaces", "日本語"}) },
+		func() *Dict {
+			d := NewOpen()
+			for _, v := range []string{"c", "a", "b"} {
+				if _, err := d.CodeOrAdd(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return d
+		},
+		NewOpen, // empty
+	} {
+		d := build()
+		buf := d.AppendBinary(nil)
+		got, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Closed() != d.Closed() || got.Len() != d.Len() {
+			t.Fatalf("meta mismatch: %v/%d vs %v/%d", got.Closed(), got.Len(), d.Closed(), d.Len())
+		}
+		for i, v := range d.Values() {
+			c, err := got.Code(v)
+			if err != nil || c != uint64(i) {
+				t.Fatalf("code(%q) = %d, %v", v, c, err)
+			}
+		}
+	}
+}
+
+func TestSerializationQuick(t *testing.T) {
+	f := func(values []string) bool {
+		d := NewClosed(values)
+		buf := d.AppendBinary(nil)
+		got, n, err := DecodeBinary(buf)
+		if err != nil || n != len(buf) || got.Len() != d.Len() {
+			return false
+		}
+		for _, v := range d.Values() {
+			a, errA := d.Code(v)
+			b, errB := got.Code(v)
+			if errA != nil || errB != nil || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBinaryCorrupt(t *testing.T) {
+	d := NewClosed([]string{"one", "two", "three"})
+	buf := d.AppendBinary(nil)
+	if _, _, err := DecodeBinary(nil); err == nil {
+		t.Fatal("decoded empty buffer")
+	}
+	if _, _, err := DecodeBinary(buf[:len(buf)/2]); err == nil {
+		t.Fatal("decoded truncated buffer")
+	}
+	// A duplicate value must be rejected.
+	dup := NewOpen()
+	if _, err := dup.CodeOrAdd("same"); err != nil {
+		t.Fatal(err)
+	}
+	raw := dup.AppendBinary(nil)
+	raw = append(raw, raw[2:]...) // append the entry again
+	raw[1] = 2                    // claim two values
+	if _, _, err := DecodeBinary(raw); err == nil {
+		t.Fatal("decoded duplicate values")
+	}
+}
+
+func TestLargeDictionary(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	values := make([]string, 5000)
+	for i := range values {
+		b := make([]byte, 3+rng.Intn(20))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		values[i] = string(b)
+	}
+	d := NewClosed(values)
+	buf := d.AppendBinary(nil)
+	got, _, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("Len mismatch %d vs %d", got.Len(), d.Len())
+	}
+}

@@ -1,0 +1,82 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the substrates of this repository:
+//
+//   - Figure 5.7: compression efficiency across the four test
+//     configurations (skew x domain variance) and relation sizes.
+//   - Section 5.2 / Figure 5.9 rows 1-4: per-block coding, decoding, and
+//     extraction times (measured on this host; the three 1995 machines use
+//     the paper's published constants).
+//   - Figure 5.8: N, the number of blocks accessed by the selection
+//     sigma_{a<=A_k<=b}(R) for every attribute, uncoded vs AVQ.
+//   - Figure 5.9: the full response-time table C1/C2 and the improvement
+//     percentages.
+//   - Ablation: the design choices DESIGN.md calls out — chained vs
+//     unchained differencing, median vs first-tuple anchor.
+//
+// Each experiment returns a structured result and renders a plain-text
+// table shaped like the paper's, with the paper's own numbers alongside
+// where they exist, so EXPERIMENTS.md can record paper-vs-measured rows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// textTable renders rows of cells as a fixed-width text table.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *textTable) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// write renders the table to w with column alignment.
+func (t *textTable) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pct formats a ratio as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

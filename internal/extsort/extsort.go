@@ -1,0 +1,286 @@
+// Package extsort sorts relations larger than memory into phi order: the
+// paper's tuple re-ordering step (Section 3.2) at out-of-core scale.
+//
+// The sorter accumulates tuples up to a memory budget, sorts each batch
+// with the relation's merge sort, spills it as a fixed-width run file, and
+// finally streams the k-way merge of all runs (plus the in-memory tail)
+// through a loser-free binary heap. Output is a pull iterator, so a
+// compressed bulk load can consume it without ever materializing the whole
+// relation.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// DefaultMemoryTuples is the default in-memory batch size.
+const DefaultMemoryTuples = 1 << 18
+
+// ErrFinished is returned by Add after Iterate has started.
+var ErrFinished = errors.New("extsort: sorter already draining")
+
+// Sorter accumulates tuples and streams them back in phi order.
+type Sorter struct {
+	schema    *relation.Schema
+	tmpDir    string
+	memTuples int
+
+	batch    []relation.Tuple
+	runs     []string
+	draining bool
+	closed   bool
+}
+
+// New creates a sorter spilling runs into tmpDir (created if needed).
+// memTuples bounds the in-memory batch; 0 means DefaultMemoryTuples.
+func New(schema *relation.Schema, tmpDir string, memTuples int) (*Sorter, error) {
+	if memTuples == 0 {
+		memTuples = DefaultMemoryTuples
+	}
+	if memTuples < 1 {
+		return nil, fmt.Errorf("extsort: memory budget %d tuples", memTuples)
+	}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Sorter{schema: schema, tmpDir: tmpDir, memTuples: memTuples}, nil
+}
+
+// Add buffers one tuple, spilling a sorted run when the batch is full.
+func (s *Sorter) Add(tu relation.Tuple) error {
+	if s.draining || s.closed {
+		return ErrFinished
+	}
+	if err := s.schema.ValidateTuple(tu); err != nil {
+		return err
+	}
+	s.batch = append(s.batch, tu.Clone())
+	if len(s.batch) >= s.memTuples {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts and writes the current batch as a run file.
+func (s *Sorter) spill() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	s.schema.SortTuples(s.batch)
+	path := filepath.Join(s.tmpDir, fmt.Sprintf("run-%06d.bin", len(s.runs)))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	buf := make([]byte, 0, s.schema.RowSize())
+	for _, tu := range s.batch {
+		buf = s.schema.EncodeTuple(buf[:0], tu)
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.runs = append(s.runs, path)
+	s.batch = s.batch[:0]
+	return nil
+}
+
+// runReader streams one spilled run.
+type runReader struct {
+	f   *os.File
+	r   *bufio.Reader
+	buf []byte
+	cur relation.Tuple
+	eof bool
+}
+
+func openRun(schema *relation.Schema, path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rr := &runReader{f: f, r: bufio.NewReaderSize(f, 1<<16), buf: make([]byte, schema.RowSize())}
+	return rr, nil
+}
+
+// next advances to the following tuple; false at end of run.
+func (rr *runReader) next(schema *relation.Schema) (bool, error) {
+	if rr.eof {
+		return false, nil
+	}
+	n, err := readFull(rr.r, rr.buf)
+	if n == 0 {
+		rr.eof = true
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	tu, err := schema.DecodeTuple(rr.buf)
+	if err != nil {
+		return false, err
+	}
+	rr.cur = tu
+	return true, nil
+}
+
+// readFull reads exactly len(buf) bytes or reports 0 at a clean boundary.
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			if total == 0 {
+				return 0, nil
+			}
+			if total < len(buf) {
+				return total, fmt.Errorf("extsort: truncated run (%d of %d bytes)", total, len(buf))
+			}
+			return total, nil
+		}
+	}
+	return total, nil
+}
+
+// mergeHeap orders run readers by their current tuple.
+type mergeHeap struct {
+	schema *relation.Schema
+	items  []*runReader
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.schema.Compare(h.items[i].cur, h.items[j].cur) < 0
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(*runReader)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// Iterate streams every added tuple in phi order. It may be called once;
+// Add is rejected afterwards. fn returning false stops early. Temporary
+// runs are removed when iteration finishes or the sorter is Closed.
+func (s *Sorter) Iterate(fn func(relation.Tuple) bool) error {
+	if s.closed {
+		return ErrFinished
+	}
+	s.draining = true
+	// The final in-memory batch becomes one more (virtual) run.
+	s.schema.SortTuples(s.batch)
+
+	h := &mergeHeap{schema: s.schema}
+	var readers []*runReader
+	defer func() {
+		for _, rr := range readers {
+			rr.f.Close()
+		}
+	}()
+	for _, path := range s.runs {
+		rr, err := openRun(s.schema, path)
+		if err != nil {
+			return err
+		}
+		readers = append(readers, rr)
+		ok, err := rr.next(s.schema)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, rr)
+		}
+	}
+	heap.Init(h)
+
+	memPos := 0
+	emitMem := func() relation.Tuple {
+		tu := s.batch[memPos]
+		memPos++
+		return tu
+	}
+	for h.Len() > 0 || memPos < len(s.batch) {
+		var tu relation.Tuple
+		switch {
+		case h.Len() == 0:
+			tu = emitMem()
+		case memPos >= len(s.batch):
+			tu = h.items[0].cur
+			if err := s.advance(h); err != nil {
+				return err
+			}
+		default:
+			if s.schema.Compare(s.batch[memPos], h.items[0].cur) <= 0 {
+				tu = emitMem()
+			} else {
+				tu = h.items[0].cur
+				if err := s.advance(h); err != nil {
+					return err
+				}
+			}
+		}
+		if !fn(tu) {
+			break
+		}
+	}
+	return s.Close()
+}
+
+// advance pops the heap head's tuple and refills it from its run.
+func (s *Sorter) advance(h *mergeHeap) error {
+	rr := h.items[0]
+	ok, err := rr.next(s.schema)
+	if err != nil {
+		return err
+	}
+	if ok {
+		heap.Fix(h, 0)
+	} else {
+		heap.Pop(h)
+	}
+	return nil
+}
+
+// Len returns the number of tuples added so far.
+func (s *Sorter) Len() int {
+	return len(s.batch) + len(s.runs)*s.memTuples
+}
+
+// Runs returns the number of spilled runs, for tests and telemetry.
+func (s *Sorter) Runs() int { return len(s.runs) }
+
+// Close removes the spilled run files. Safe to call repeatedly.
+func (s *Sorter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, path := range s.runs {
+		if err := os.Remove(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.runs = nil
+	s.batch = nil
+	return firstErr
+}

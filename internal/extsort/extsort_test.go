@@ -1,0 +1,255 @@
+package extsort
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func testSchema(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Domain{Name: "a", Size: 8},
+		relation.Domain{Name: "b", Size: 300},
+		relation.Domain{Name: "c", Size: 64},
+	)
+}
+
+func randomTuples(n int, seed int64) []relation.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{
+			uint64(rng.Intn(8)), uint64(rng.Intn(300)), uint64(rng.Intn(64)),
+		}
+	}
+	return out
+}
+
+// sortAndCollect pushes tuples through a sorter with the given memory
+// budget and returns the drained order.
+func sortAndCollect(t *testing.T, tuples []relation.Tuple, memTuples int) []relation.Tuple {
+	t.Helper()
+	s := testSchema(t)
+	sorter, err := New(s, t.TempDir(), memTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := sorter.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []relation.Tuple
+	if err := sorter.Iterate(func(tu relation.Tuple) bool {
+		got = append(got, tu.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestInMemoryOnly(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(500, 1)
+	got := sortAndCollect(t, tuples, 10000) // never spills
+	if len(got) != len(tuples) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(tuples))
+	}
+	if !s.TuplesSorted(got) {
+		t.Fatal("output not in phi order")
+	}
+}
+
+func TestSpillingMerge(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(5000, 2)
+	// Tiny budget: dozens of runs plus an in-memory tail.
+	sorter, err := New(s, t.TempDir(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := sorter.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sorter.Runs() < 10 {
+		t.Fatalf("expected many spilled runs, got %d", sorter.Runs())
+	}
+	var got []relation.Tuple
+	if err := sorter.Iterate(func(tu relation.Tuple) bool {
+		got = append(got, tu.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tuples) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(tuples))
+	}
+	if !s.TuplesSorted(got) {
+		t.Fatal("merged output not in phi order")
+	}
+	// Same multiset as a plain in-memory sort.
+	want := make([]relation.Tuple, len(tuples))
+	for i, tu := range tuples {
+		want[i] = tu.Clone()
+	}
+	s.SortTuples(want)
+	for i := range want {
+		if s.Compare(got[i], want[i]) != 0 {
+			t.Fatalf("tuple %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunFilesCleanedUp(t *testing.T) {
+	s := testSchema(t)
+	dir := t.TempDir()
+	sorter, err := New(s, dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range randomTuples(1000, 3) {
+		if err := sorter.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sorter.Iterate(func(relation.Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".bin" {
+			t.Fatalf("run file %s not cleaned up", e.Name())
+		}
+	}
+}
+
+func TestAddAfterIterateRejected(t *testing.T) {
+	s := testSchema(t)
+	sorter, err := New(s, t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Add(relation.Tuple{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Iterate(func(relation.Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Add(relation.Tuple{1, 2, 3}); err != ErrFinished {
+		t.Fatalf("Add after Iterate err = %v", err)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s := testSchema(t)
+	sorter, err := New(s, t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range randomTuples(1000, 4) {
+		if err := sorter.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	if err := sorter.Iterate(func(relation.Tuple) bool {
+		seen++
+		return seen < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := New(s, t.TempDir(), -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	sorter, err := New(s, t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Add(relation.Tuple{99, 0, 0}); err == nil {
+		t.Fatal("out-of-domain tuple accepted")
+	}
+}
+
+func TestEmptySorter(t *testing.T) {
+	s := testSchema(t)
+	sorter, err := New(s, t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := sorter.Iterate(func(relation.Tuple) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("empty sorter emitted %d tuples", count)
+	}
+}
+
+func TestDuplicatesSurvive(t *testing.T) {
+	s := testSchema(t)
+	sorter, err := New(s, t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := relation.Tuple{3, 30, 30}
+	for i := 0; i < 50; i++ {
+		if err := sorter.Add(dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := sorter.Iterate(func(tu relation.Tuple) bool {
+		if s.Compare(tu, dup) != 0 {
+			t.Fatalf("unexpected tuple %v", tu)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("emitted %d duplicates, want 50", count)
+	}
+}
+
+func BenchmarkExternalSort(b *testing.B) {
+	s := testSchema(b)
+	tuples := randomTuples(50000, 5)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sorter, err := New(s, dir, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tu := range tuples {
+			if err := sorter.Add(tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sorter.Iterate(func(relation.Tuple) bool { return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/dict"
+	"repro/internal/relation"
+)
+
+// Departments and Jobs are the string domains of the paper's running
+// employee example (Example 3.1): a relation over department, job title,
+// years in company, hours worked per week, and employee number.
+var (
+	Departments = []string{
+		"accounting", "engineering", "management", "marketing",
+		"personnel", "production", "research", "support",
+	}
+	Jobs = []string{
+		"analyst", "architect", "assistant", "auditor", "clerk",
+		"consultant", "director", "executive", "manager", "operator",
+		"part-time", "secretary", "supervisor", "technician",
+		"worker1", "worker2",
+	}
+)
+
+// EmployeeRecord is a raw (pre-encoding) row of the employee relation.
+// Attribute encoding (Section 3.1, package dict) turns the strings into
+// ordinals before AVQ coding.
+type EmployeeRecord struct {
+	Dept  string
+	Job   string
+	Years int // 0..63
+	Hours int // 0..63
+	EmpNo int // unique
+}
+
+// EmployeeRecords generates n employee rows with the Example 3.1 domain
+// cardinalities: 8 departments, 16 job titles, years and hours in [0, 64),
+// and a unique employee number.
+func EmployeeRecords(n int, seed int64) []EmployeeRecord {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]EmployeeRecord, n)
+	for i := range out {
+		out[i] = EmployeeRecord{
+			Dept:  Departments[rng.Intn(len(Departments))],
+			Job:   Jobs[rng.Intn(len(Jobs))],
+			Years: rng.Intn(64),
+			Hours: rng.Intn(64),
+			EmpNo: i,
+		}
+	}
+	return out
+}
+
+// EmployeeSchema builds the encoded schema for n employees: the string
+// domains sized by their dictionaries and the numeric domains sized 64,
+// with the employee number sized to the relation.
+func EmployeeSchema(n int) (*relation.Schema, *dict.Dict, *dict.Dict, error) {
+	deptDict := dict.NewClosed(Departments)
+	jobDict := dict.NewClosed(Jobs)
+	empDomain := uint64(n)
+	if empDomain < 1 {
+		empDomain = 1
+	}
+	schema, err := relation.NewSchema(
+		relation.Domain{Name: "dept", Size: uint64(deptDict.Len()), Kind: relation.KindString},
+		relation.Domain{Name: "job", Size: uint64(jobDict.Len()), Kind: relation.KindString},
+		relation.Domain{Name: "years", Size: 64},
+		relation.Domain{Name: "hours", Size: 64},
+		relation.Domain{Name: "empno", Size: empDomain},
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return schema, deptDict, jobDict, nil
+}
+
+// EncodeEmployees applies attribute encoding to raw records, producing the
+// numeric tuples AVQ operates on.
+func EncodeEmployees(records []EmployeeRecord, deptDict, jobDict *dict.Dict) ([]relation.Tuple, error) {
+	tuples := make([]relation.Tuple, len(records))
+	for i, r := range records {
+		d, err := deptDict.Code(r.Dept)
+		if err != nil {
+			return nil, err
+		}
+		j, err := jobDict.Code(r.Job)
+		if err != nil {
+			return nil, err
+		}
+		tuples[i] = relation.Tuple{d, j, uint64(r.Years), uint64(r.Hours), uint64(r.EmpNo)}
+	}
+	return tuples, nil
+}
+
+// DecodeEmployee reverses attribute encoding for display.
+func DecodeEmployee(tu relation.Tuple, deptDict, jobDict *dict.Dict) (EmployeeRecord, error) {
+	d, err := deptDict.Value(tu[0])
+	if err != nil {
+		return EmployeeRecord{}, err
+	}
+	j, err := jobDict.Value(tu[1])
+	if err != nil {
+		return EmployeeRecord{}, err
+	}
+	return EmployeeRecord{
+		Dept:  d,
+		Job:   j,
+		Years: int(tu[2]),
+		Hours: int(tu[3]),
+		EmpNo: int(tu[4]),
+	}, nil
+}

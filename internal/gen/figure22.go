@@ -1,0 +1,117 @@
+package gen
+
+import "repro/internal/relation"
+
+// Figure22Schema returns the Example 3.1 schema: domains of size
+// 8, 16, 64, 64, 64.
+func Figure22Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Domain{Name: "dept", Size: 8},
+		relation.Domain{Name: "job", Size: 16},
+		relation.Domain{Name: "years", Size: 64},
+		relation.Domain{Name: "hours", Size: 64},
+		relation.Domain{Name: "empno", Size: 64},
+	)
+}
+
+// Figure22Tuples returns the paper's complete 50-tuple example relation:
+// Table (b) of Figure 2.2 (the relation after attribute encoding), in
+// employee-number order. Transcribed from the figure and cross-validated
+// against the printed phi ordinals of Tables (c) and (d) — every value
+// below reproduces the figure's arithmetic exactly (see TestFigure22Golden).
+func Figure22Tuples() []relation.Tuple {
+	return []relation.Tuple{
+		{3, 9, 24, 32, 0},
+		{4, 12, 12, 31, 1},
+		{2, 6, 29, 21, 2},
+		{4, 7, 30, 42, 3},
+		{2, 10, 27, 27, 4},
+		{3, 5, 23, 25, 5},
+		{3, 5, 34, 28, 6},
+		{3, 6, 32, 37, 7},
+		{4, 7, 39, 37, 8},
+		{3, 4, 31, 25, 9},
+		{4, 9, 19, 21, 10},
+		{3, 5, 28, 22, 11},
+		{3, 8, 32, 34, 12},
+		{4, 8, 38, 34, 13},
+		{4, 7, 26, 32, 14},
+		{5, 10, 33, 22, 15},
+		{3, 9, 34, 28, 16},
+		{4, 9, 25, 27, 17},
+		{4, 8, 41, 28, 18},
+		{3, 8, 32, 25, 19},
+		{4, 5, 39, 29, 20},
+		{4, 8, 50, 26, 21},
+		{3, 8, 31, 33, 22},
+		{5, 8, 26, 32, 23},
+		{3, 6, 34, 26, 24},
+		{5, 7, 45, 16, 25},
+		{3, 7, 39, 37, 26},
+		{4, 6, 40, 27, 27},
+		{4, 10, 30, 44, 28},
+		{3, 8, 24, 30, 29},
+		{4, 7, 33, 32, 30},
+		{4, 9, 32, 42, 31},
+		{5, 10, 19, 31, 32},
+		{3, 9, 27, 26, 33},
+		{3, 10, 32, 30, 34},
+		{3, 8, 36, 39, 35},
+		{2, 6, 26, 20, 36},
+		{3, 9, 26, 27, 37},
+		{3, 10, 35, 25, 38},
+		{4, 10, 39, 33, 39},
+		{3, 7, 35, 28, 40},
+		{4, 8, 32, 24, 41},
+		{4, 8, 31, 24, 42},
+		{4, 10, 35, 19, 43},
+		{4, 4, 55, 23, 44},
+		{4, 8, 32, 27, 45},
+		{3, 7, 37, 31, 46},
+		{5, 5, 24, 26, 47},
+		{3, 7, 30, 32, 48},
+		{4, 7, 39, 31, 49},
+	}
+}
+
+// Figure22SortedOrdinals returns the N_R column of Figure 2.2 Table (c):
+// the phi ordinals of the relation after tuple re-ordering, as printed in
+// the paper, in clustered order.
+func Figure22SortedOrdinals() []uint64 {
+	return []uint64{
+		10069284, 10081602, 11122372, 13760073, 13989445,
+		14009739, 14034694, 14289223, 14296728, 14542896,
+		14563112, 14571502, 14580058, 14780317, 14809174,
+		14812755, 14813324, 14830051, 15042560, 15050469,
+		15054497, 15083280, 15337378, 15349350, 18052588,
+		18249556, 18515675, 18720782, 18737795, 18749470,
+		18774001, 18774344, 19002922, 19007017, 19007213,
+		19032205, 19044114, 19080853, 19215690, 19240657,
+		19270303, 19524380, 19543275, 19560551, 19974081,
+		22382255, 22991897, 23177239, 23672800, 23729551,
+	}
+}
+
+// Figure22BlockTuples is the paper's block size in Figure 2.2: the figure
+// partitions the 50 sorted tuples into ten blocks of five, with the middle
+// (third) tuple of each block as its representative.
+const Figure22BlockTuples = 5
+
+// Figure22CodedOrdinals returns the N_R column of Figure 2.2 Table (d):
+// for each row of the clustered relation, the ordinal of what the AVQ
+// coder stores — the representative's own ordinal in representative slots,
+// the chained difference otherwise — as printed in the paper.
+func Figure22CodedOrdinals() []uint64 {
+	return []uint64{
+		12318, 1040770, 11122372, 2637701, 229372,
+		24955, 254529, 14289223, 7505, 246168,
+		8390, 8556, 14580058, 200259, 28857,
+		569, 16727, 14830051, 212509, 7909,
+		28783, 254098, 15337378, 11972, 2703238,
+		266119, 205107, 18720782, 17013, 11675,
+		343, 228578, 19002922, 4095, 196,
+		11909, 36739, 19080853, 134837, 24967,
+		254077, 18895, 19543275, 17276, 413530,
+		609642, 185342, 23177239, 495561, 56751,
+	}
+}

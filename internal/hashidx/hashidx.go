@@ -1,0 +1,262 @@
+// Package hashidx implements an extendible hash table over byte-string
+// keys. Section 4 of the paper notes that its tree indexes are not the
+// only possible access method for AVQ-coded relations ("we do not preclude
+// the use of other methods, such as hashing"); this package provides that
+// alternative for secondary indexes. Point lookups are O(1); ordered range
+// scans are unsupported by construction, which is exactly the trade-off the
+// table layer surfaces when a hash-indexed attribute receives a wide range
+// predicate.
+//
+// The structure is classic extendible hashing: a directory of 2^globalDepth
+// bucket pointers, each bucket with a local depth; an overflowing bucket
+// splits and, when its local depth equals the global depth, the directory
+// doubles. Buckets whose keys all share a full 64-bit hash degenerate into
+// overflow buckets rather than splitting forever.
+package hashidx
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// DefaultBucketCap is the default number of entries per bucket.
+const DefaultBucketCap = 16
+
+// maxDepth caps directory growth; 64-bit hashes cannot discriminate past
+// this in any case.
+const maxDepth = 32
+
+// Table maps []byte keys to values of type V. Keys are unique. The zero
+// value is not usable; call New. Not safe for concurrent mutation.
+type Table[V any] struct {
+	dir         []*bucket[V]
+	globalDepth uint
+	bucketCap   int
+	size        int
+	numBuckets  int
+}
+
+type bucket[V any] struct {
+	localDepth uint
+	keys       [][]byte
+	values     []V
+}
+
+// New creates a table with the given bucket capacity (entries per bucket).
+func New[V any](bucketCap int) (*Table[V], error) {
+	if bucketCap < 1 {
+		return nil, fmt.Errorf("hashidx: bucket capacity %d must be positive", bucketCap)
+	}
+	b := &bucket[V]{}
+	return &Table[V]{
+		dir:        []*bucket[V]{b},
+		bucketCap:  bucketCap,
+		numBuckets: 1,
+	}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew[V any](bucketCap int) *Table[V] {
+	t, err := New[V](bucketCap)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// fnv1a computes the 64-bit FNV-1a hash of key.
+func fnv1a(key []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// Len returns the number of keys.
+func (t *Table[V]) Len() int { return t.size }
+
+// NumBuckets returns the number of distinct buckets.
+func (t *Table[V]) NumBuckets() int { return t.numBuckets }
+
+// GlobalDepth returns the directory depth (directory size is 2^depth).
+func (t *Table[V]) GlobalDepth() uint { return t.globalDepth }
+
+// bucketFor returns the bucket for a key's hash.
+func (t *Table[V]) bucketFor(h uint64) *bucket[V] {
+	return t.dir[h&(1<<t.globalDepth-1)]
+}
+
+// find returns the position of key in b, or -1.
+func (b *bucket[V]) find(key []byte) int {
+	for i, k := range b.keys {
+		if bytes.Equal(k, key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under key.
+func (t *Table[V]) Get(key []byte) (V, bool) {
+	b := t.bucketFor(fnv1a(key))
+	if i := b.find(key); i >= 0 {
+		return b.values[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert stores value under key, replacing any existing value, and reports
+// whether a previous value was replaced.
+func (t *Table[V]) Insert(key []byte, value V) bool {
+	h := fnv1a(key)
+	b := t.bucketFor(h)
+	if i := b.find(key); i >= 0 {
+		b.values[i] = value
+		return true
+	}
+	t.insertNew(h, append([]byte(nil), key...), value)
+	t.size++
+	return false
+}
+
+// insertNew adds a fresh key, splitting as needed.
+func (t *Table[V]) insertNew(h uint64, key []byte, value V) {
+	for {
+		b := t.bucketFor(h)
+		if len(b.keys) < t.bucketCap || b.localDepth >= maxDepth {
+			b.keys = append(b.keys, key)
+			b.values = append(b.values, value)
+			return
+		}
+		t.split(b)
+	}
+}
+
+// split divides b into two buckets of localDepth+1, doubling the directory
+// first when necessary.
+func (t *Table[V]) split(b *bucket[V]) {
+	if b.localDepth == t.globalDepth {
+		// Double the directory: each new slot mirrors its low-half twin.
+		newDir := make([]*bucket[V], len(t.dir)*2)
+		copy(newDir, t.dir)
+		copy(newDir[len(t.dir):], t.dir)
+		t.dir = newDir
+		t.globalDepth++
+	}
+	newDepth := b.localDepth + 1
+	// The distinguishing bit for the new depth.
+	bit := uint64(1) << b.localDepth
+	zero := &bucket[V]{localDepth: newDepth}
+	one := &bucket[V]{localDepth: newDepth}
+	for i, k := range b.keys {
+		if fnv1a(k)&bit == 0 {
+			zero.keys = append(zero.keys, k)
+			zero.values = append(zero.values, b.values[i])
+		} else {
+			one.keys = append(one.keys, k)
+			one.values = append(one.values, b.values[i])
+		}
+	}
+	// Re-point every directory slot that referenced b.
+	for i := range t.dir {
+		if t.dir[i] == b {
+			if uint64(i)&bit == 0 {
+				t.dir[i] = zero
+			} else {
+				t.dir[i] = one
+			}
+		}
+	}
+	t.numBuckets++
+}
+
+// Delete removes key and reports whether it was present. Buckets are not
+// merged; directories only grow (standard for extendible hashing).
+func (t *Table[V]) Delete(key []byte) bool {
+	b := t.bucketFor(fnv1a(key))
+	i := b.find(key)
+	if i < 0 {
+		return false
+	}
+	last := len(b.keys) - 1
+	b.keys[i] = b.keys[last]
+	b.keys = b.keys[:last]
+	b.values[i] = b.values[last]
+	b.values = b.values[:last]
+	t.size--
+	return true
+}
+
+// Range visits every entry in unspecified order. fn returning false stops
+// the walk.
+func (t *Table[V]) Range(fn func(key []byte, value V) bool) {
+	seen := make(map[*bucket[V]]struct{}, t.numBuckets)
+	for _, b := range t.dir {
+		if _, ok := seen[b]; ok {
+			continue
+		}
+		seen[b] = struct{}{}
+		for i, k := range b.keys {
+			if !fn(k, b.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies the structure: directory size, bucket pointer
+// alignment, hash-prefix membership, and size accounting.
+func (t *Table[V]) CheckInvariants() error {
+	if len(t.dir) != 1<<t.globalDepth {
+		return fmt.Errorf("hashidx: directory has %d slots for depth %d", len(t.dir), t.globalDepth)
+	}
+	seen := make(map[*bucket[V]][]int)
+	for i, b := range t.dir {
+		seen[b] = append(seen[b], i)
+	}
+	if len(seen) != t.numBuckets {
+		return fmt.Errorf("hashidx: %d distinct buckets, tracked %d", len(seen), t.numBuckets)
+	}
+	total := 0
+	for b, slots := range seen {
+		if b.localDepth > t.globalDepth {
+			return fmt.Errorf("hashidx: bucket depth %d exceeds global %d", b.localDepth, t.globalDepth)
+		}
+		want := 1 << (t.globalDepth - b.localDepth)
+		if len(slots) != want {
+			return fmt.Errorf("hashidx: bucket at depth %d referenced by %d slots, want %d",
+				b.localDepth, len(slots), want)
+		}
+		// All referencing slots must agree on the low localDepth bits.
+		mask := uint64(1)<<b.localDepth - 1
+		prefix := uint64(slots[0]) & mask
+		for _, s := range slots[1:] {
+			if uint64(s)&mask != prefix {
+				return fmt.Errorf("hashidx: bucket slots disagree on %d-bit prefix", b.localDepth)
+			}
+		}
+		for _, k := range b.keys {
+			if fnv1a(k)&mask != prefix {
+				return fmt.Errorf("hashidx: key %x in wrong bucket", k)
+			}
+		}
+		if len(b.keys) != len(b.values) {
+			return fmt.Errorf("hashidx: bucket has %d keys, %d values", len(b.keys), len(b.values))
+		}
+		if len(b.keys) > t.bucketCap && b.localDepth < maxDepth {
+			return fmt.Errorf("hashidx: splittable bucket over capacity: %d > %d", len(b.keys), t.bucketCap)
+		}
+		total += len(b.keys)
+	}
+	if total != t.size {
+		return fmt.Errorf("hashidx: %d entries counted, size says %d", total, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package hashidx
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0); err == nil {
+		t.Fatal("zero bucket capacity accepted")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	h := MustNew[int](4)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if h.Insert(key(i), i) {
+			t.Fatalf("Insert(%d) reported replace", i)
+		}
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := h.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := h.Get(key(n + 1)); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	for i := 0; i < n; i += 2 {
+		if !h.Delete(key(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if h.Len() != n/2 {
+		t.Fatalf("Len = %d after deletes", h.Len())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := h.Get(key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if h.Delete(key(0)) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	h := MustNew[string](4)
+	h.Insert(key(1), "a")
+	if !h.Insert(key(1), "b") {
+		t.Fatal("replace not reported")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if v, _ := h.Get(key(1)); v != "b" {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestKeyAliasing(t *testing.T) {
+	h := MustNew[int](4)
+	k := key(9)
+	h.Insert(k, 1)
+	k[0] = 0xFF
+	if _, ok := h.Get(key(9)); !ok {
+		t.Fatal("table shared caller's key memory")
+	}
+}
+
+func TestDirectoryGrowth(t *testing.T) {
+	h := MustNew[int](2)
+	for i := 0; i < 1000; i++ {
+		h.Insert(key(i), i)
+	}
+	if h.GlobalDepth() == 0 {
+		t.Fatal("directory never grew")
+	}
+	if h.NumBuckets() < 100 {
+		t.Fatalf("only %d buckets for 1000 entries at capacity 2", h.NumBuckets())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	h := MustNew[int](4)
+	want := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		h.Insert(key(i), i)
+		want[i] = true
+	}
+	got := map[int]bool{}
+	h.Range(func(k []byte, v int) bool {
+		if got[v] {
+			t.Fatalf("value %d visited twice", v)
+		}
+		got[v] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %d of %d", len(got), len(want))
+	}
+	// Early stop.
+	count := 0
+	h.Range(func(k []byte, v int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := MustNew[int](3)
+	ref := map[string]int{}
+	for op := 0; op < 20000; op++ {
+		k := key(rng.Intn(500))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			_, existed := ref[string(k)]
+			if got := h.Insert(k, v); got != existed {
+				t.Fatalf("op %d: Insert=%v want %v", op, got, existed)
+			}
+			ref[string(k)] = v
+		case 1:
+			_, existed := ref[string(k)]
+			if got := h.Delete(k); got != existed {
+				t.Fatalf("op %d: Delete=%v want %v", op, got, existed)
+			}
+			delete(ref, string(k))
+		case 2:
+			want, existed := ref[string(k)]
+			got, ok := h.Get(k)
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Get=%d,%v want %d,%v", op, got, ok, want, existed)
+			}
+		}
+		if op%4000 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if h.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", h.Len(), len(ref))
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	f := func(seed int64, capSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := MustNew[int](1 + int(capSel)%8)
+		live := map[int]bool{}
+		for i := 0; i < 300; i++ {
+			k := rng.Intn(120)
+			if rng.Intn(2) == 0 {
+				h.Insert(key(k), k)
+				live[k] = true
+			} else {
+				if h.Delete(key(k)) != live[k] {
+					return false
+				}
+				delete(live, k)
+			}
+		}
+		return h.Len() == len(live) && h.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	h := MustNew[int](2)
+	keys := []string{"", "a", "ab", "abc", "b", "longer-key-value", "z"}
+	for i, k := range keys {
+		h.Insert([]byte(k), i)
+	}
+	for i, k := range keys {
+		v, ok := h.Get([]byte(k))
+		if !ok || v != i {
+			t.Fatalf("Get(%q) = %d, %v", k, v, ok)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	h := MustNew[int](DefaultBucketCap)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Insert(key(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	h := MustNew[int](DefaultBucketCap)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Insert(key(i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(key(i % n))
+	}
+}

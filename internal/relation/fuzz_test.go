@@ -1,0 +1,28 @@
+package relation
+
+import "testing"
+
+// FuzzDecodeSchemaBinary drives the schema decoder with arbitrary bytes:
+// no panics, and successful decodes round-trip.
+func FuzzDecodeSchemaBinary(f *testing.F) {
+	s := MustSchema(
+		Domain{Name: "dept", Size: 8, Kind: KindString},
+		Domain{Name: "empno", Size: 70000},
+	)
+	f.Add(s.AppendBinary(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x01, 'x', 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, n, err := DecodeSchemaBinary(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		back, m, err := DecodeSchemaBinary(got.AppendBinary(nil))
+		if err != nil || !got.Equal(back) || m <= 0 {
+			t.Fatalf("decoded schema does not round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package relation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// maxBinaryAttrs bounds schema parsing against corrupt input.
+const maxBinaryAttrs = 1 << 16
+
+// maxBinaryNameLen bounds attribute-name parsing against corrupt input.
+const maxBinaryNameLen = 4096
+
+// ErrSchemaTruncated is returned by DecodeSchemaBinary on short input.
+var ErrSchemaTruncated = errors.New("relation: truncated schema encoding")
+
+// AppendBinary serializes the schema: an attribute count followed by each
+// domain's name, size, and kind. The encoding is the schema section of the
+// relfile formats and of the persistent table catalog.
+func (s *Schema) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.domains)))
+	for _, d := range s.domains {
+		dst = binary.AppendUvarint(dst, uint64(len(d.Name)))
+		dst = append(dst, d.Name...)
+		dst = binary.AppendUvarint(dst, d.Size)
+		dst = append(dst, byte(d.Kind))
+	}
+	return dst
+}
+
+// DecodeSchemaBinary parses a schema serialized by AppendBinary and
+// returns it with the number of bytes consumed.
+func DecodeSchemaBinary(buf []byte) (*Schema, int, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return nil, 0, ErrSchemaTruncated
+	}
+	if n == 0 || n > maxBinaryAttrs {
+		return nil, 0, fmt.Errorf("relation: implausible attribute count %d", n)
+	}
+	pos := used
+	doms := make([]Domain, n)
+	for i := range doms {
+		nameLen, used := binary.Uvarint(buf[pos:])
+		if used <= 0 {
+			return nil, 0, ErrSchemaTruncated
+		}
+		pos += used
+		if nameLen > maxBinaryNameLen {
+			return nil, 0, fmt.Errorf("relation: implausible name length %d", nameLen)
+		}
+		if uint64(len(buf)-pos) < nameLen {
+			return nil, 0, ErrSchemaTruncated
+		}
+		name := string(buf[pos : pos+int(nameLen)])
+		pos += int(nameLen)
+		size, used := binary.Uvarint(buf[pos:])
+		if used <= 0 {
+			return nil, 0, ErrSchemaTruncated
+		}
+		pos += used
+		if pos >= len(buf) {
+			return nil, 0, ErrSchemaTruncated
+		}
+		kind := DomainKind(buf[pos])
+		pos++
+		doms[i] = Domain{Name: name, Size: size, Kind: kind}
+	}
+	s, err := NewSchema(doms...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, pos, nil
+}

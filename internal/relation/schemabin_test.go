@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBinaryRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Domain{Name: "dept", Size: 8, Kind: KindString},
+		Domain{Name: "empno", Size: 1 << 40},
+		Domain{Name: "x", Size: 3},
+	)
+	buf := s.AppendBinary(nil)
+	got, n, err := DecodeSchemaBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !s.Equal(got) {
+		t.Fatalf("round trip mismatch: %v vs %v", s, got)
+	}
+	if got.Domain(0).Kind != KindString {
+		t.Fatal("kind lost")
+	}
+}
+
+func TestSchemaBinaryTruncation(t *testing.T) {
+	s := MustSchema(
+		Domain{Name: "alpha", Size: 100},
+		Domain{Name: "beta", Size: 200},
+	)
+	buf := s.AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeSchemaBinary(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+func TestSchemaBinaryTrailingBytesIgnored(t *testing.T) {
+	s := MustSchema(Domain{Name: "a", Size: 5})
+	buf := append(s.AppendBinary(nil), 0xAA, 0xBB)
+	got, n, err := DecodeSchemaBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf)-2 {
+		t.Fatalf("consumed %d bytes", n)
+	}
+	if !s.Equal(got) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestSchemaBinaryQuick(t *testing.T) {
+	f := func(names []string, sizes []uint16) bool {
+		n := len(names)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 50 {
+			n = 50
+		}
+		doms := make([]Domain, n)
+		for i := 0; i < n; i++ {
+			name := names[i]
+			if name == "" {
+				name = "x"
+			}
+			if len(name) > 100 {
+				name = name[:100]
+			}
+			doms[i] = Domain{Name: name, Size: uint64(sizes[i]) + 2}
+		}
+		s, err := NewSchema(doms...)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeSchemaBinary(s.AppendBinary(nil))
+		return err == nil && s.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaBinaryRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeSchemaBinary(nil); err == nil {
+		t.Fatal("decoded empty input")
+	}
+	// Implausible attribute count.
+	if _, _, err := DecodeSchemaBinary([]byte{0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Fatal("decoded implausible count")
+	}
+}

@@ -1,0 +1,120 @@
+package relfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// WriteCSV emits a header row of attribute names followed by one numeric
+// row per tuple. The CSV form is the interchange surface toward ordinary
+// tools; attribute encoding has already happened, so every value is an
+// ordinal.
+func WriteCSV(w io.Writer, s *relation.Schema, tuples []relation.Tuple) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < s.NumAttrs(); i++ {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(s.Domain(i).Name); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for ti, tu := range tuples {
+		if err := s.ValidateTuple(tu); err != nil {
+			return fmt.Errorf("relfile: tuple %d: %w", ti, err)
+		}
+		for i, v := range tu {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(v, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a numeric CSV with a header row into a relation. When
+// schema is nil, one is inferred: the attribute names come from the header
+// and each domain's size is the column's maximum value plus one.
+func ReadCSV(r io.Reader, schema *relation.Schema) (*relation.Schema, []relation.Tuple, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !scanner.Scan() {
+		return nil, nil, fmt.Errorf("relfile: empty CSV")
+	}
+	header := strings.Split(scanner.Text(), ",")
+	n := len(header)
+	if n == 0 || (n == 1 && strings.TrimSpace(header[0]) == "") {
+		return nil, nil, fmt.Errorf("relfile: CSV header has no columns")
+	}
+	if schema != nil && schema.NumAttrs() != n {
+		return nil, nil, fmt.Errorf("relfile: CSV has %d columns, schema has %d attributes", n, schema.NumAttrs())
+	}
+	var tuples []relation.Tuple
+	maxVal := make([]uint64, n)
+	line := 1
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != n {
+			return nil, nil, fmt.Errorf("relfile: line %d has %d fields, want %d", line, len(parts), n)
+		}
+		tu := make(relation.Tuple, n)
+		for i, p := range parts {
+			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("relfile: line %d field %d: %v", line, i+1, err)
+			}
+			tu[i] = v
+			if v > maxVal[i] {
+				maxVal[i] = v
+			}
+		}
+		tuples = append(tuples, tu)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, err
+	}
+	if schema == nil {
+		doms := make([]relation.Domain, n)
+		for i, name := range header {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				name = fmt.Sprintf("a%02d", i+1)
+			}
+			doms[i] = relation.Domain{Name: name, Size: maxVal[i] + 1}
+		}
+		var err error
+		schema, err = relation.NewSchema(doms...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for i, tu := range tuples {
+		if err := schema.ValidateTuple(tu); err != nil {
+			return nil, nil, fmt.Errorf("relfile: row %d: %w", i+1, err)
+		}
+	}
+	return schema, tuples, nil
+}

@@ -1,0 +1,95 @@
+package relfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 300, 91)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s, tuples); err != nil {
+		t.Fatal(err)
+	}
+	// Read back against the explicit schema.
+	got, rows, err := ReadCSV(bytes.NewReader(buf.Bytes()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatal("schema changed")
+	}
+	if len(rows) != len(tuples) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(tuples))
+	}
+	for i := range rows {
+		if s.Compare(rows[i], tuples[i]) != 0 {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestCSVSchemaInference(t *testing.T) {
+	csv := "region,store\n3,10\n7,250\n0,0\n"
+	schema, rows, err := ReadCSV(strings.NewReader(csv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.NumAttrs() != 2 {
+		t.Fatalf("attrs = %d", schema.NumAttrs())
+	}
+	if schema.Domain(0).Name != "region" || schema.Domain(0).Size != 8 {
+		t.Fatalf("domain 0 = %+v", schema.Domain(0))
+	}
+	if schema.Domain(1).Size != 251 {
+		t.Fatalf("domain 1 size = %d, want max+1=251", schema.Domain(1).Size)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("a,b\n1\n"), nil); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("a\nx\n"), nil); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	s := relation.MustSchema(relation.Domain{Name: "a", Size: 5})
+	if _, _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), s); err == nil {
+		t.Fatal("column-count mismatch accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("a\n9\n"), s); err == nil {
+		t.Fatal("out-of-domain value accepted against explicit schema")
+	}
+}
+
+func TestCSVBlankLinesSkipped(t *testing.T) {
+	csv := "a\n1\n\n2\n"
+	_, rows, err := ReadCSV(strings.NewReader(csv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestCSVMissingHeaderNames(t *testing.T) {
+	csv := ",x\n1,2\n"
+	schema, _, err := ReadCSV(strings.NewReader(csv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Domain(0).Name == "" {
+		t.Fatal("empty header name not defaulted")
+	}
+}

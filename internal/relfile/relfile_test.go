@@ -1,0 +1,222 @@
+package relfile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+func testSchema(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Domain{Name: "dept", Size: 8, Kind: relation.KindString},
+		relation.Domain{Name: "job", Size: 16, Kind: relation.KindString},
+		relation.Domain{Name: "years", Size: 64},
+		relation.Domain{Name: "hours", Size: 64},
+		relation.Domain{Name: "empno", Size: 70000},
+	)
+}
+
+func randomTuples(t testing.TB, n int, seed int64) []relation.Tuple {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{
+			uint64(rng.Intn(8)), uint64(rng.Intn(16)),
+			uint64(rng.Intn(64)), uint64(rng.Intn(64)), uint64(rng.Intn(70000)),
+		}
+	}
+	return tuples
+}
+
+func TestPlainRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 500, 1)
+	var buf bytes.Buffer
+	if err := WritePlain(&buf, s, tuples); err != nil {
+		t.Fatal(err)
+	}
+	s2, tuples2, err := ReadPlain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(s2) {
+		t.Fatalf("schema mismatch: %v vs %v", s, s2)
+	}
+	if s2.Domain(0).Kind != relation.KindString {
+		t.Fatal("domain kind lost")
+	}
+	if len(tuples2) != len(tuples) {
+		t.Fatalf("tuples = %d, want %d", len(tuples2), len(tuples))
+	}
+	for i := range tuples {
+		if s.Compare(tuples[i], tuples2[i]) != 0 {
+			t.Fatalf("tuple %d mismatch", i)
+		}
+	}
+}
+
+func TestPlainEmptyRelation(t *testing.T) {
+	s := testSchema(t)
+	var buf bytes.Buffer
+	if err := WritePlain(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, tuples, err := ReadPlain(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 0 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 2000, 2)
+	for _, codec := range []core.Codec{core.CodecRaw, core.CodecAVQ, core.CodecRepOnly, core.CodecDeltaChain, core.CodecPacked} {
+		var buf bytes.Buffer
+		info, err := WriteCompressed(&buf, s, tuples, codec, 1024)
+		if err != nil {
+			t.Fatalf("%v: %v", codec, err)
+		}
+		if info.Blocks <= 0 || info.Tuples != 2000 {
+			t.Fatalf("%v: info = %+v", codec, info)
+		}
+		s2, tuples2, err := ReadCompressed(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: read: %v", codec, err)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("%v: schema mismatch", codec)
+		}
+		if len(tuples2) != len(tuples) {
+			t.Fatalf("%v: %d tuples, want %d", codec, len(tuples2), len(tuples))
+		}
+		// Output is in phi order; compare against the sorted input.
+		want := make([]relation.Tuple, len(tuples))
+		copy(want, tuples)
+		s.SortTuples(want)
+		for i := range want {
+			if s.Compare(want[i], tuples2[i]) != 0 {
+				t.Fatalf("%v: tuple %d mismatch", codec, i)
+			}
+		}
+	}
+}
+
+func TestCompressedSmallerThanPlainForAVQ(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 5000, 3)
+	var plain, compressed bytes.Buffer
+	if err := WritePlain(&plain, s, tuples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCompressed(&compressed, s, tuples, core.CodecAVQ, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len() >= plain.Len() {
+		t.Fatalf("compressed %d bytes >= plain %d bytes", compressed.Len(), plain.Len())
+	}
+}
+
+func TestInspectCompressed(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 1000, 4)
+	var buf bytes.Buffer
+	wrote, err := WriteCompressed(&buf, s, tuples, core.CodecAVQ, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectCompressed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Blocks != wrote.Blocks || info.Tuples != 1000 || info.Codec != core.CodecAVQ {
+		t.Fatalf("info = %+v, wrote = %+v", info, wrote)
+	}
+	if info.StreamBytes != wrote.StreamBytes {
+		t.Fatalf("stream bytes %d != %d", info.StreamBytes, wrote.StreamBytes)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 300, 5)
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, s, tuples, core.CodecAVQ, 1024); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	rng := rand.New(rand.NewSource(6))
+	detected := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		bad := append([]byte(nil), data...)
+		// Corrupt within the block payload region (past the header).
+		pos := len(bad)/4 + rng.Intn(len(bad)/2)
+		bad[pos] ^= 0xFF
+		if _, _, err := ReadCompressed(bytes.NewReader(bad)); err != nil {
+			detected++
+		}
+	}
+	if detected < trials*9/10 {
+		t.Fatalf("only %d/%d corruptions detected", detected, trials)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 300, 7)
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, s, tuples, core.CodecAVQ, 1024); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, _, err := ReadCompressed(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, _, err := ReadPlain(bytes.NewReader([]byte("NOTAFILE"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("plain bad magic err = %v", err)
+	}
+	if _, err := InspectCompressed(bytes.NewReader([]byte("NOTAFILE"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("compressed bad magic err = %v", err)
+	}
+	// A plain file is not a compressed file and vice versa.
+	s := testSchema(t)
+	var plain bytes.Buffer
+	if err := WritePlain(&plain, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCompressed(bytes.NewReader(plain.Bytes())); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("cross-format read err = %v", err)
+	}
+}
+
+func TestWriteCompressedValidation(t *testing.T) {
+	s := testSchema(t)
+	var buf bytes.Buffer
+	if _, err := WriteCompressed(&buf, s, nil, core.Codec(99), 1024); err == nil {
+		t.Fatal("bad codec accepted")
+	}
+	if _, err := WriteCompressed(&buf, s, nil, core.CodecAVQ, 4); err == nil {
+		t.Fatal("block smaller than a tuple accepted")
+	}
+	bad := []relation.Tuple{{99, 0, 0, 0, 0}}
+	if _, err := WriteCompressed(&buf, s, bad, core.CodecAVQ, 1024); err == nil {
+		t.Fatal("out-of-domain tuple accepted")
+	}
+	if err := WritePlain(&buf, s, bad); err == nil {
+		t.Fatal("plain writer accepted out-of-domain tuple")
+	}
+}

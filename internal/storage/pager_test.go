@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// pagerFixtures returns constructors for every Pager implementation so all
+// contract tests run against both.
+func pagerFixtures(t *testing.T, pageSize int) map[string]func() Pager {
+	t.Helper()
+	return map[string]func() Pager{
+		"mem": func() Pager {
+			p, err := NewMemPager(pageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"file": func() Pager {
+			p, err := OpenFilePager(filepath.Join(t.TempDir(), "pages.db"), pageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+}
+
+func TestPagerContract(t *testing.T) {
+	const pageSize = 256
+	for name, open := range pagerFixtures(t, pageSize) {
+		t.Run(name, func(t *testing.T) {
+			p := open()
+			defer p.Close()
+
+			if p.PageSize() != pageSize {
+				t.Fatalf("PageSize = %d", p.PageSize())
+			}
+			if p.NumPages() != 0 {
+				t.Fatalf("new pager has %d pages", p.NumPages())
+			}
+
+			id0, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id1, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id0 == id1 {
+				t.Fatal("Allocate returned duplicate ids")
+			}
+			if p.NumPages() != 2 {
+				t.Fatalf("NumPages = %d, want 2", p.NumPages())
+			}
+
+			data := bytes.Repeat([]byte{0xAB}, pageSize)
+			if err := p.Write(id1, data); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, pageSize)
+			if err := p.Read(id1, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, data) {
+				t.Fatal("read back wrong data")
+			}
+			// Fresh pages read as zeros.
+			if err := p.Read(id0, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, make([]byte, pageSize)) {
+				t.Fatal("fresh page not zeroed")
+			}
+		})
+	}
+}
+
+func TestPagerErrors(t *testing.T) {
+	const pageSize = 128
+	for name, open := range pagerFixtures(t, pageSize) {
+		t.Run(name, func(t *testing.T) {
+			p := open()
+			defer p.Close()
+			id, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			buf := make([]byte, pageSize)
+			if err := p.Read(PageID(99), buf); !errors.Is(err, ErrPageOutOfRange) {
+				t.Fatalf("read out of range err = %v", err)
+			}
+			if err := p.Write(id, make([]byte, pageSize-1)); !errors.Is(err, ErrBadPageSize) {
+				t.Fatalf("short write err = %v", err)
+			}
+			if err := p.Free(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Free(id); !errors.Is(err, ErrPageFreed) {
+				t.Fatalf("double free err = %v", err)
+			}
+			if err := p.Read(id, buf); !errors.Is(err, ErrPageFreed) {
+				t.Fatalf("read of freed page err = %v", err)
+			}
+		})
+	}
+}
+
+func TestPagerFreeListReuse(t *testing.T) {
+	for name, open := range pagerFixtures(t, 64) {
+		t.Run(name, func(t *testing.T) {
+			p := open()
+			defer p.Close()
+			id0, _ := p.Allocate()
+			id1, _ := p.Allocate()
+			filled := bytes.Repeat([]byte{7}, 64)
+			if err := p.Write(id1, filled); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Free(id1); err != nil {
+				t.Fatal(err)
+			}
+			id2, err := p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id2 != id1 {
+				t.Fatalf("reused id = %d, want %d", id2, id1)
+			}
+			if p.NumPages() != 2 {
+				t.Fatalf("NumPages = %d, want 2 (reuse, not grow)", p.NumPages())
+			}
+			buf := make([]byte, 64)
+			if err := p.Read(id2, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, make([]byte, 64)) {
+				t.Fatal("reused page not zeroed")
+			}
+			_ = id0
+		})
+	}
+}
+
+func TestPagerClosed(t *testing.T) {
+	for name, open := range pagerFixtures(t, 64) {
+		t.Run(name, func(t *testing.T) {
+			p := open()
+			id, _ := p.Allocate()
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 64)
+			if err := p.Read(id, buf); !errors.Is(err, ErrClosed) {
+				t.Fatalf("read after close err = %v", err)
+			}
+			if _, err := p.Allocate(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("allocate after close err = %v", err)
+			}
+		})
+	}
+}
+
+func TestFilePagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	p, err := OpenFilePager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	data := bytes.Repeat([]byte{0x5A}, 64)
+	if err := p.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenFilePager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d", p2.NumPages())
+	}
+	buf := make([]byte, 64)
+	if err := p2.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestFilePagerRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.db")
+	p, err := OpenFilePager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := OpenFilePager(path, 48); err == nil {
+		t.Fatal("misaligned page size accepted")
+	}
+}
+
+func TestBadPageSizeRejected(t *testing.T) {
+	if _, err := NewMemPager(0); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+	if _, err := OpenFilePager(filepath.Join(t.TempDir(), "x"), -1); err == nil {
+		t.Fatal("negative page size accepted")
+	}
+}
+
+func TestPagerRandomized(t *testing.T) {
+	for name, open := range pagerFixtures(t, 32) {
+		t.Run(name, func(t *testing.T) {
+			p := open()
+			defer p.Close()
+			rng := rand.New(rand.NewSource(9))
+			content := map[PageID][]byte{}
+			var live []PageID
+			for op := 0; op < 2000; op++ {
+				switch {
+				case len(live) == 0 || rng.Intn(3) == 0:
+					id, err := p.Allocate()
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, id)
+					content[id] = make([]byte, 32)
+				case rng.Intn(3) == 0:
+					i := rng.Intn(len(live))
+					id := live[i]
+					if err := p.Free(id); err != nil {
+						t.Fatal(err)
+					}
+					delete(content, id)
+					live = append(live[:i], live[i+1:]...)
+				default:
+					id := live[rng.Intn(len(live))]
+					data := make([]byte, 32)
+					rng.Read(data)
+					if err := p.Write(id, data); err != nil {
+						t.Fatal(err)
+					}
+					content[id] = data
+				}
+			}
+			buf := make([]byte, 32)
+			for id, want := range content {
+				if err := p.Read(id, buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Fatalf("page %d content mismatch", id)
+				}
+			}
+		})
+	}
+}
+
+func TestFilePagerDeferredFree(t *testing.T) {
+	p, err := OpenFilePager(filepath.Join(t.TempDir(), "d.db"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDeferredFree(true)
+
+	id0, _ := p.Allocate()
+	id1, _ := p.Allocate()
+	if err := p.Free(id0); err != nil {
+		t.Fatal(err)
+	}
+	// Freed page is unreadable immediately...
+	buf := make([]byte, 64)
+	if err := p.Read(id0, buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("read of deferred-freed page err = %v", err)
+	}
+	// ...but NOT reusable: allocation extends the file instead.
+	id2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id0 {
+		t.Fatal("deferred-freed page reused before ReleasePending")
+	}
+	// After release, the page is reusable.
+	p.ReleasePending()
+	id3, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id0 {
+		t.Fatalf("released page not reused: got %d, want %d", id3, id0)
+	}
+	_ = id1
+}
+
+func TestFilePagerDeferredFreeToggle(t *testing.T) {
+	p, err := OpenFilePager(filepath.Join(t.TempDir(), "t.db"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDeferredFree(true)
+	id, _ := p.Allocate()
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	// Turning deferred mode off promotes pending pages.
+	p.SetDeferredFree(false)
+	got, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("pending page not promoted on toggle: got %d want %d", got, id)
+	}
+}

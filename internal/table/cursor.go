@@ -1,0 +1,141 @@
+package table
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Cursor is a pull iterator over the table in phi order, decoding one
+// block at a time. It materializes at most one block, so scans of
+// arbitrarily large tables run in constant memory — the property block-
+// local coding (Section 3.3) exists to provide.
+//
+// A cursor is a snapshot of the block list at creation; mutating the table
+// invalidates it.
+type Cursor struct {
+	t        *Table
+	blocks   []storage.PageID
+	blockIdx int
+	current  []relation.Tuple
+	pos      int
+	done     bool
+}
+
+// NewCursor returns a cursor positioned before the first tuple.
+func (t *Table) NewCursor() *Cursor {
+	return &Cursor{t: t, blocks: t.store.Blocks()}
+}
+
+// Seek positions the cursor so the following Next returns the first tuple
+// >= target in phi order, using the primary index to skip ahead of it.
+func (c *Cursor) Seek(target relation.Tuple) error {
+	if err := c.t.schema.ValidateTuple(target); err != nil {
+		return err
+	}
+	c.done = false
+	c.current = nil
+	c.pos = 0
+	key := c.t.schema.EncodeTuple(nil, target)
+	_, page, ok := c.t.primary.SeekFloor(key)
+	if !ok {
+		// Everything is >= target (or the table is empty): start at the top.
+		c.blockIdx = 0
+		return nil
+	}
+	for i, id := range c.blocks {
+		if id == page {
+			c.blockIdx = i
+			break
+		}
+	}
+	ts, err := c.t.store.ReadBlock(page)
+	if err != nil {
+		return err
+	}
+	c.current = ts
+	c.blockIdx++ // next block fill continues after this one
+	// Skip within the block to the first tuple >= target.
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.t.schema.Compare(ts[mid], target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	c.pos = lo
+	return nil
+}
+
+// Next returns the next tuple, or ok=false at the end.
+func (c *Cursor) Next() (relation.Tuple, bool, error) {
+	if c.done {
+		return nil, false, nil
+	}
+	for c.pos >= len(c.current) {
+		if c.blockIdx >= len(c.blocks) {
+			c.done = true
+			return nil, false, nil
+		}
+		ts, err := c.t.store.ReadBlock(c.blocks[c.blockIdx])
+		if err != nil {
+			return nil, false, err
+		}
+		c.blockIdx++
+		c.current = ts
+		c.pos = 0
+	}
+	tu := c.current[c.pos]
+	c.pos++
+	return tu, true, nil
+}
+
+// GroupResult is one group of GroupBy: the grouping value and the
+// aggregates of aggAttr within it.
+type GroupResult struct {
+	Value uint64
+	Agg   AggregateResult
+}
+
+// GroupBy computes per-group COUNT/SUM/MIN/MAX of aggAttr, grouped by the
+// values of groupAttr, over the rows matching lo <= A_filterAttr <= hi.
+// Groups are returned in ascending group-value order. Grouping by the
+// clustering attribute streams in one pass without a hash table.
+func (t *Table) GroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	if groupAttr < 0 || groupAttr >= t.schema.NumAttrs() {
+		return nil, QueryStats{}, errInto("group attribute out of range")
+	}
+	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
+		return nil, QueryStats{}, errInto("aggregate attribute out of range")
+	}
+	groups := make(map[uint64]*AggregateResult)
+	stats, err := t.selectRangeFunc(filterAttr, lo, hi, func(tu relation.Tuple) bool {
+		g := groups[tu[groupAttr]]
+		if g == nil {
+			g = &AggregateResult{Min: ^uint64(0)}
+			groups[tu[groupAttr]] = g
+		}
+		v := tu[aggAttr]
+		g.Count++
+		g.Sum += v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]GroupResult, 0, len(groups))
+	for v, agg := range groups {
+		out = append(out, GroupResult{Value: v, Agg: *agg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out, stats, nil
+}

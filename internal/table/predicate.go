@@ -1,0 +1,171 @@
+package table
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Predicate is one conjunct of a selection: lo <= A_attr <= hi.
+type Predicate struct {
+	Attr   int
+	Lo, Hi uint64
+}
+
+// String renders the predicate in the paper's sigma notation.
+func (p Predicate) String() string {
+	return fmt.Sprintf("%d<=A%d<=%d", p.Lo, p.Attr+1, p.Hi)
+}
+
+// matches reports whether tu satisfies the predicate.
+func (p Predicate) matches(tu relation.Tuple) bool {
+	return tu[p.Attr] >= p.Lo && tu[p.Attr] <= p.Hi
+}
+
+// selectivity estimates the fraction of a uniform domain the predicate
+// admits; the planner drives the conjunction through the most selective
+// indexed predicate.
+func (p Predicate) selectivity(s *relation.Schema) float64 {
+	size := s.Domain(p.Attr).Size
+	if size == 0 {
+		return 1
+	}
+	hi := p.Hi
+	if hi >= size {
+		hi = size - 1
+	}
+	if p.Lo > hi {
+		return 0
+	}
+	return float64(hi-p.Lo+1) / float64(size)
+}
+
+// Select executes a conjunction of range predicates. The most selective
+// predicate with an access path (the clustering attribute or a secondary
+// index) drives block retrieval; the remaining predicates filter. With no
+// usable predicate the table is scanned.
+func (t *Table) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
+	if len(preds) == 0 {
+		var out []relation.Tuple
+		stats, err := t.selectScan(0, 0, math.MaxUint64, func(tu relation.Tuple) bool {
+			out = append(out, tu)
+			return true
+		})
+		return out, stats, err
+	}
+	for _, p := range preds {
+		if p.Attr < 0 || p.Attr >= t.schema.NumAttrs() {
+			return nil, QueryStats{}, fmt.Errorf("table: attribute %d out of range", p.Attr)
+		}
+	}
+	driver := t.pickDriver(preds)
+	rest := make([]Predicate, 0, len(preds)-1)
+	for i, p := range preds {
+		if i != driver {
+			rest = append(rest, p)
+		}
+	}
+	var out []relation.Tuple
+	stats, err := t.selectRangeFunc(preds[driver].Attr, preds[driver].Lo, preds[driver].Hi,
+		func(tu relation.Tuple) bool {
+			for _, p := range rest {
+				if !p.matches(tu) {
+					return true
+				}
+			}
+			out = append(out, tu)
+			return true
+		})
+	// Matches counted by the driver include rows the residual predicates
+	// rejected; report the final count.
+	stats.Matches = len(out)
+	return out, stats, err
+}
+
+// pickDriver chooses the predicate to drive retrieval: the most selective
+// one that has an access path, else the most selective overall.
+// Selectivity comes from the per-attribute histograms when the table holds
+// data, falling back to the uniform-domain estimate otherwise.
+func (t *Table) pickDriver(preds []Predicate) int {
+	sel := func(p Predicate) float64 {
+		if t.size > 0 {
+			return t.hist[p.Attr].estimate(p.Lo, p.Hi)
+		}
+		return p.selectivity(t.schema)
+	}
+	best := -1
+	bestSel := math.Inf(1)
+	for i, p := range preds {
+		_, indexed := t.secondary[p.Attr]
+		if p.Attr != 0 && !indexed {
+			continue
+		}
+		if s := sel(p); s < bestSel {
+			best, bestSel = i, s
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i, p := range preds {
+		if s := sel(p); s < bestSel {
+			best, bestSel = i, s
+		}
+	}
+	return best
+}
+
+// Project returns the chosen attributes of each row, in row order. It is a
+// plain relational projection (without duplicate elimination).
+func Project(rows []relation.Tuple, attrs []int) ([][]uint64, error) {
+	out := make([][]uint64, len(rows))
+	for i, tu := range rows {
+		proj := make([]uint64, len(attrs))
+		for j, a := range attrs {
+			if a < 0 || a >= len(tu) {
+				return nil, fmt.Errorf("table: projection attribute %d out of range", a)
+			}
+			proj[j] = tu[a]
+		}
+		out[i] = proj
+	}
+	return out, nil
+}
+
+// Aggregates over a range predicate. Each runs the same access path as
+// SelectRange but streams without materializing rows.
+
+// AggregateResult carries the aggregate values of AggregateRange.
+type AggregateResult struct {
+	Count int
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+}
+
+// AggregateRange computes COUNT, SUM, MIN, and MAX of attribute aggAttr
+// over the rows matching lo <= A_attr <= hi. Min and Max are meaningful
+// only when Count > 0.
+func (t *Table) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
+	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
+		return AggregateResult{}, QueryStats{}, fmt.Errorf("table: aggregate attribute %d out of range", aggAttr)
+	}
+	res := AggregateResult{Min: math.MaxUint64}
+	stats, err := t.selectRangeFunc(attr, lo, hi, func(tu relation.Tuple) bool {
+		v := tu[aggAttr]
+		res.Count++
+		res.Sum += v
+		if v < res.Min {
+			res.Min = v
+		}
+		if v > res.Max {
+			res.Max = v
+		}
+		return true
+	})
+	if res.Count == 0 {
+		res.Min = 0
+	}
+	return res, stats, err
+}

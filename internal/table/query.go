@@ -1,0 +1,253 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Strategy names the access path a query used.
+type Strategy uint8
+
+const (
+	// StrategyClustered scans the contiguous run of blocks bounded through
+	// the primary index: the plan for predicates on the clustering prefix
+	// attribute.
+	StrategyClustered Strategy = iota
+	// StrategySecondary collects candidate blocks from a secondary index's
+	// buckets and reads each once (Figure 4.5). B+ tree indexes enumerate
+	// the key range; hash indexes probe each value in a narrow range.
+	StrategySecondary
+	// StrategyFullScan reads every block.
+	StrategyFullScan
+)
+
+// String returns the strategy's name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyClustered:
+		return "clustered"
+	case StrategySecondary:
+		return "secondary"
+	case StrategyFullScan:
+		return "full-scan"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// hashEnumLimit bounds how many distinct values a range predicate may
+// enumerate against a hash-backed secondary index before the planner
+// prefers a full scan.
+const hashEnumLimit = 1024
+
+// QueryStats reports what a selection cost. BlocksRead is the paper's N
+// (Section 5.3.3): the number of data blocks brought into memory.
+type QueryStats struct {
+	Strategy   Strategy
+	BlocksRead int
+	Matches    int
+}
+
+// SelectRange executes the paper's evaluation query sigma_{lo <= A_attr <=
+// hi}(R) (Section 5.3) and returns the matching tuples in phi order
+// together with access statistics.
+func (t *Table) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
+	var out []relation.Tuple
+	stats, err := t.selectRangeFunc(attr, lo, hi, func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
+}
+
+// SelectRangeFunc streams the matching tuples of sigma_{lo<=A_attr<=hi}(R)
+// to emit in phi order without materializing them; emit returning false
+// stops the query early. Aggregates are built on it.
+func (t *Table) SelectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	return t.selectRangeFunc(attr, lo, hi, emit)
+}
+
+// selectRangeFunc validates the predicate, picks the access path, and
+// streams matches. The access path is chosen as a real system would:
+// predicates on the clustering prefix (attribute 0) bound a contiguous
+// block range through the primary index; other attributes use their
+// secondary index when one exists; otherwise the table is scanned.
+func (t *Table) selectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	if attr < 0 || attr >= t.schema.NumAttrs() {
+		return QueryStats{}, fmt.Errorf("table: attribute %d out of range", attr)
+	}
+	if lo > hi || lo >= t.schema.Domain(attr).Size {
+		return QueryStats{}, nil
+	}
+	if hi >= t.schema.Domain(attr).Size {
+		hi = t.schema.Domain(attr).Size - 1
+	}
+	if t.size == 0 {
+		return QueryStats{}, nil
+	}
+	if attr == 0 {
+		return t.selectClustered(lo, hi, emit)
+	}
+	if idx, ok := t.secondary[attr]; ok {
+		if pages, ok := t.candidateBlocks(idx, attr, lo, hi); ok {
+			return t.readCandidates(pages, attr, lo, hi, emit)
+		}
+	}
+	return t.selectScan(attr, lo, hi, emit)
+}
+
+// selectClustered streams from the contiguous blocks that can hold tuples
+// whose clustering attribute lies in [lo, hi].
+func (t *Table) selectClustered(lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	stats := QueryStats{Strategy: StrategyClustered}
+	// The lowest possible qualifying tuple is <lo, 0, ..., 0>.
+	loTuple := make(relation.Tuple, t.schema.NumAttrs())
+	loTuple[0] = lo
+	key := t.schema.EncodeTuple(nil, loTuple)
+	var start storage.PageID
+	if _, page, ok := t.primary.SeekFloor(key); ok {
+		start = page
+	} else if _, page, ok := t.primary.Min(); ok {
+		start = page
+	} else {
+		return stats, nil
+	}
+	id := start
+	for {
+		ts, err := t.store.ReadBlock(id)
+		if err != nil {
+			return stats, err
+		}
+		stats.BlocksRead++
+		for _, tu := range ts {
+			if tu[0] >= lo && tu[0] <= hi {
+				stats.Matches++
+				if !emit(tu) {
+					return stats, nil
+				}
+			}
+		}
+		// Stop when the block starts beyond the range: every later block
+		// is larger still.
+		if ts[0][0] > hi {
+			break
+		}
+		next, ok := t.store.NextBlock(id)
+		if !ok {
+			break
+		}
+		id = next
+	}
+	return stats, nil
+}
+
+// candidateBlocks collects the distinct data blocks a secondary index maps
+// the value range onto. For B+ tree indexes it enumerates the key range;
+// for hash indexes it probes each value when the range is narrow enough,
+// and reports !ok otherwise so the planner falls back to a scan.
+func (t *Table) candidateBlocks(idx secIndex, attr int, lo, hi uint64) (map[storage.PageID]struct{}, bool) {
+	pageSet := make(map[storage.PageID]struct{})
+	from := t.schema.EncodeAttr(nil, attr, lo)
+	var to []byte
+	if hi+1 < t.schema.Domain(attr).Size {
+		to = t.schema.EncodeAttr(nil, attr, hi+1)
+	}
+	collect := func(b *bucket) bool {
+		for page := range b.pages {
+			pageSet[page] = struct{}{}
+		}
+		return true
+	}
+	if idx.scanRange(from, to, collect) {
+		return pageSet, true
+	}
+	// Hash backend: probe each value individually when feasible.
+	if hi-lo+1 > hashEnumLimit {
+		return nil, false
+	}
+	key := make([]byte, 0, t.schema.AttrWidth(attr))
+	for v := lo; v <= hi; v++ {
+		key = t.schema.EncodeAttr(key[:0], attr, v)
+		if b, ok := idx.get(key); ok {
+			collect(b)
+		}
+	}
+	return pageSet, true
+}
+
+// readCandidates reads candidate blocks in clustered order and filters.
+func (t *Table) readCandidates(pageSet map[storage.PageID]struct{}, attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	stats := QueryStats{Strategy: StrategySecondary}
+	for _, id := range t.store.Blocks() {
+		if _, ok := pageSet[id]; !ok {
+			continue
+		}
+		ts, err := t.store.ReadBlock(id)
+		if err != nil {
+			return stats, err
+		}
+		stats.BlocksRead++
+		for _, tu := range ts {
+			if tu[attr] >= lo && tu[attr] <= hi {
+				stats.Matches++
+				if !emit(tu) {
+					return stats, nil
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// selectScan streams from every block.
+func (t *Table) selectScan(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	stats := QueryStats{Strategy: StrategyFullScan}
+	err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
+		stats.BlocksRead++
+		for _, tu := range ts {
+			if tu[attr] >= lo && tu[attr] <= hi {
+				stats.Matches++
+				if !emit(tu) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return stats, err
+}
+
+// SelectPoint executes sigma_{A_attr = v}(R).
+func (t *Table) SelectPoint(attr int, v uint64) ([]relation.Tuple, QueryStats, error) {
+	return t.SelectRange(attr, v, v)
+}
+
+// CountRange returns only the number of qualifying tuples, with the same
+// access path and cost as SelectRange but no materialization.
+func (t *Table) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
+	stats, err := t.selectRangeFunc(attr, lo, hi, func(relation.Tuple) bool { return true })
+	return stats.Matches, stats, err
+}
+
+// BlocksForValue returns the sorted data blocks a secondary index maps the
+// value to, without reading them; nil when no index exists on attr. Tools
+// use it to show bucket contents (Figure 4.5).
+func (t *Table) BlocksForValue(attr int, v uint64) []storage.PageID {
+	idx, ok := t.secondary[attr]
+	if !ok {
+		return nil
+	}
+	b, ok := idx.get(t.schema.EncodeAttr(nil, attr, v))
+	if !ok {
+		return nil
+	}
+	out := make([]storage.PageID, 0, len(b.pages))
+	for page := range b.pages {
+		out = append(out, page)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,123 @@
+package table
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Sync wraps a Table for concurrent use: queries take a shared lock and
+// run in parallel; mutations take an exclusive lock. The underlying table
+// must not be used directly while wrapped.
+//
+// Note the buffer pool underneath is itself thread-safe, so concurrent
+// readers genuinely share cached blocks.
+type Sync struct {
+	mu sync.RWMutex
+	t  *Table
+}
+
+// NewSync wraps t.
+func NewSync(t *Table) *Sync { return &Sync{t: t} }
+
+// Table returns the wrapped table for exclusive, single-threaded phases
+// (e.g. bulk loading before serving).
+func (s *Sync) Table() *Table { return s.t }
+
+// Len returns the number of tuples.
+func (s *Sync) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Len()
+}
+
+// NumBlocks returns the number of data blocks.
+func (s *Sync) NumBlocks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.NumBlocks()
+}
+
+// SelectRange runs sigma_{lo<=A_attr<=hi}(R) under a shared lock.
+func (s *Sync) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.SelectRange(attr, lo, hi)
+}
+
+// Select runs a conjunction under a shared lock.
+func (s *Sync) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Select(preds)
+}
+
+// CountRange counts matches under a shared lock.
+func (s *Sync) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.CountRange(attr, lo, hi)
+}
+
+// AggregateRange aggregates under a shared lock.
+func (s *Sync) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.AggregateRange(attr, lo, hi, aggAttr)
+}
+
+// Contains checks membership under a shared lock.
+func (s *Sync) Contains(tu relation.Tuple) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.Contains(tu)
+}
+
+// Insert adds a tuple under an exclusive lock.
+func (s *Sync) Insert(tu relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Insert(tu)
+}
+
+// InsertBatch adds many tuples under one exclusive lock.
+func (s *Sync) InsertBatch(tuples []relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.InsertBatch(tuples)
+}
+
+// Delete removes a tuple under an exclusive lock.
+func (s *Sync) Delete(tu relation.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Delete(tu)
+}
+
+// Update replaces a tuple under an exclusive lock.
+func (s *Sync) Update(old, new relation.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Update(old, new)
+}
+
+// Compact rewrites the layout under an exclusive lock.
+func (s *Sync) Compact() (before, after int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Compact()
+}
+
+// Checkpoint persists under an exclusive lock.
+func (s *Sync) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Checkpoint()
+}
+
+// Close closes the table under an exclusive lock.
+func (s *Sync) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Close()
+}

@@ -1,0 +1,114 @@
+package table
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// TestSyncConcurrentReadersAndWriters hammers a Sync-wrapped table from
+// multiple goroutines; run with -race to verify the locking.
+func TestSyncConcurrentReadersAndWriters(t *testing.T) {
+	base := newTable(t, core.CodecAVQ, []int{1, 4})
+	if err := base.BulkLoad(randomTuples(t, 1500, 81)); err != nil {
+		t.Fatal(err)
+	}
+	st := NewSync(base)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 150; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					if _, _, err := st.SelectRange(rng.Intn(5), 0, 30); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, _, err := st.CountRange(1, 2, 9); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, _, err := st.AggregateRange(0, 0, 7, 2); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	// Writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < 100; i++ {
+				tu := relation.Tuple{
+					uint64(rng.Intn(8)), uint64(rng.Intn(16)),
+					uint64(rng.Intn(64)), uint64(rng.Intn(64)), uint64(rng.Intn(4096)),
+				}
+				if rng.Intn(2) == 0 {
+					if err := st.Insert(tu); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := st.Delete(tu); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := st.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != st.Table().Len() || st.NumBlocks() <= 0 {
+		t.Fatal("accessors inconsistent")
+	}
+}
+
+func TestSyncLifecycle(t *testing.T) {
+	base := newTable(t, core.CodecAVQ, nil)
+	st := NewSync(base)
+	if err := st.InsertBatch(randomTuples(t, 100, 82)); err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{1, 2, 3, 4, 5}
+	if err := st.Insert(tu); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := st.Contains(tu)
+	if err != nil || !ok {
+		t.Fatalf("Contains = %v, %v", ok, err)
+	}
+	if ok, err := st.Update(tu, relation.Tuple{1, 2, 3, 4, 6}); err != nil || !ok {
+		t.Fatalf("Update = %v, %v", ok, err)
+	}
+	if _, _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
