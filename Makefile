@@ -1,0 +1,25 @@
+# Standard entry points; `make check` is the full verification gate that
+# scripts/check.sh (and CI) run.
+
+GO ?= go
+
+.PHONY: check test race lint build fmt
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/avqlint ./...
+
+fmt:
+	gofmt -w cmd internal examples *.go

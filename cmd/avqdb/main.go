@@ -51,7 +51,7 @@ func main() {
 		limit     = fs.Int("limit", 20, "query: max rows to print")
 		aggAttr   = fs.Int("agg", 0, "agg: attribute to aggregate")
 	)
-	fs.Parse(os.Args[2:])
+	fs.Parse(os.Args[2:]) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
 	if *db == "" {
 		fmt.Fprintln(os.Stderr, "avqdb: -db is required")
 		os.Exit(2)

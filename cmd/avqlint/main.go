@@ -1,0 +1,117 @@
+// Command avqlint runs the repository's static-analysis suite
+// (internal/analysis) over the module and exits non-zero on findings.
+//
+// Usage:
+//
+//	avqlint [-rules a,b] [-list] [dir | dir/... ...]
+//
+// With no arguments (or "./...") it analyzes every package under the
+// module root. A plain directory argument analyzes that one package; a
+// trailing /... analyzes the subtree. Diagnostics print as
+//
+//	file:line:col: [rule] message
+//
+// and can be suppressed with a trailing or preceding comment of the form
+// //avqlint:ignore <rule> <justification>.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("avqlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Registry()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a := analysis.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "avqlint: unknown rule %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "avqlint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "avqlint: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*analysis.Package
+	for _, target := range targets {
+		if dir, ok := strings.CutSuffix(target, "/..."); ok {
+			if dir == "." || dir == "" {
+				dir = loader.ModuleRoot
+			}
+			sub, err := loader.LoadAll(dir)
+			if err != nil {
+				fmt.Fprintf(stderr, "avqlint: %v\n", err)
+				return 2
+			}
+			pkgs = append(pkgs, sub...)
+			continue
+		}
+		pkg, err := loader.LoadDir(target)
+		if err != nil {
+			fmt.Fprintf(stderr, "avqlint: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings := 0
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if seen[pkg.Dir] {
+			continue
+		}
+		seen[pkg.Dir] = true
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "avqlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

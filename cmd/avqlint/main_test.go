@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, rule := range []string{"unpinpair", "framealias", "lockbalance", "droppederr", "ordwidth"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("rule %q missing from -list output:\n%s", rule, out)
+		}
+	}
+}
+
+func TestFindingsExitNonZero(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "droppederr")
+	code, out, stderr := runLint(t, fixture)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "[droppederr]") {
+		t.Errorf("output missing droppederr finding:\n%s", out)
+	}
+}
+
+func TestRuleFilter(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "droppederr")
+	// With only an unrelated rule selected, the fixture is clean.
+	code, out, stderr := runLint(t, "-rules", "lockbalance", fixture)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, out, stderr)
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	code, _, stderr := runLint(t, "-rules", "nosuchrule")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("stderr: %s", stderr)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, stderr := runLint(t, filepath.Join("..", "..", "internal", "ordinal"))
+	if code != 0 {
+		t.Fatalf("exit %d; stdout: %s stderr: %s", code, out, stderr)
+	}
+}

@@ -41,7 +41,7 @@ func main() {
 		codecName = fs.String("codec", "avq", "block codec: avq, raw, rep-only, delta-chain")
 		blockSize = fs.Int("blocksize", storage.DefaultPageSize, "block size in bytes")
 	)
-	fs.Parse(os.Args[2:])
+	fs.Parse(os.Args[2:]) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "avqtool: -in is required")
 		os.Exit(2)

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return pkg
+}
+
+// render flattens diagnostics to "file.go:line:col: message" with the
+// directory stripped, the golden form used below.
+func render(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message))
+	}
+	return out
+}
+
+// TestAnalyzersGolden proves each analyzer fires on every planted
+// violation, with the exact position and message, and stays silent on the
+// correct and suppressed functions in the same fixture.
+func TestAnalyzersGolden(t *testing.T) {
+	tests := []struct {
+		rule string
+		want []string
+	}{
+		{
+			rule: "unpinpair",
+			want: []string{
+				`unpinpair.go:12:12: frame "f" pinned by Pool.Get is never unpinned in this function`,
+				`unpinpair.go:21:2: frame pinned by Pool.Allocate is discarded; it can never be unpinned`,
+				`unpinpair.go:26:12: frame pinned by Pool.Get is discarded; it can never be unpinned`,
+			},
+		},
+		{
+			rule: "framealias",
+			want: []string{
+				`framealias.go:20:9: use of "d", a Frame.Data() slice of frame "f", after the frame's Unpin`,
+				`framealias.go:32:13: Frame.Data() called on frame "f" after its Unpin`,
+			},
+		},
+		{
+			rule: "lockbalance",
+			want: []string{
+				`lockbalance.go:16:2: g.mu.Lock() has 1 lock call(s) but only 0 unlock call(s) in this function`,
+				`lockbalance.go:27:2: g.rw.RLock() has 1 lock call(s) but only 0 unlock call(s) in this function`,
+			},
+		},
+		{
+			rule: "droppederr",
+			want: []string{
+				`droppederr.go:22:2: dropped error: result of c.Close is discarded`,
+				`droppederr.go:27:2: dropped error: result of fail assigned to _`,
+				`droppederr.go:32:2: dropped error: final result of pair assigned to _`,
+			},
+		},
+		{
+			rule: "ordwidth",
+			want: []string{
+				`ordwidth.go:7:9: conversion to uint32 narrows 64-bit arithmetic result "a + b" to 32 bits; compute in the narrow type or mask explicitly`,
+				`ordwidth.go:12:9: conversion to byte narrows 64-bit arithmetic result "x * y" to 8 bits; compute in the narrow type or mask explicitly`,
+				`ordwidth.go:17:9: conversion to uint16 narrows 64-bit arithmetic result "n << 4" to 16 bits; compute in the narrow type or mask explicitly`,
+				`ordwidth.go:22:9: conversion to int8 narrows 64-bit arithmetic result "hi - lo" to 8 bits; compute in the narrow type or mask explicitly`,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.rule, func(t *testing.T) {
+			a := Lookup(tt.rule)
+			if a == nil {
+				t.Fatalf("rule %q not registered", tt.rule)
+			}
+			pkg := loadFixture(t, tt.rule)
+			got := render(RunAnalyzers(pkg, []*Analyzer{a}))
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d diagnostics, want %d:\ngot:  %s\nwant: %s",
+					len(got), len(tt.want), strings.Join(got, "\n      "), strings.Join(tt.want, "\n      "))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression checks the directive machinery directly: same line,
+// preceding line, rule mismatch, and the "all" wildcard.
+func TestSuppression(t *testing.T) {
+	pkg := &Package{ignores: []ignoreDirective{
+		{file: "a.go", line: 10, rule: "unpinpair"},
+		{file: "a.go", line: 20, rule: "all"},
+	}}
+	cases := []struct {
+		file string
+		line int
+		rule string
+		want bool
+	}{
+		{"a.go", 10, "unpinpair", true},  // same line
+		{"a.go", 11, "unpinpair", true},  // line below the directive
+		{"a.go", 12, "unpinpair", false}, // too far
+		{"a.go", 10, "droppederr", false},
+		{"b.go", 10, "unpinpair", false}, // other file
+		{"a.go", 20, "ordwidth", true},   // wildcard
+		{"a.go", 21, "lockbalance", true},
+	}
+	for _, c := range cases {
+		got := pkg.suppressed(c.rule, token.Position{Filename: c.file, Line: c.line})
+		if got != c.want {
+			t.Errorf("suppressed(%s, %s:%d) = %v, want %v", c.rule, c.file, c.line, got, c.want)
+		}
+	}
+}
+
+// TestRegistry checks the full analyzer set is registered and named.
+func TestRegistry(t *testing.T) {
+	want := []string{"droppederr", "framealias", "lockbalance", "ordwidth", "unpinpair"}
+	var got []string
+	for _, a := range Registry() {
+		got = append(got, a.Name)
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("registry = %v, want %v", got, want)
+	}
+	if Lookup("nosuchrule") != nil {
+		t.Error("Lookup of unknown rule should be nil")
+	}
+}
+
+// TestLoader checks module resolution, type-checking, and test-file
+// exclusion.
+func TestLoader(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModulePath != "repro" {
+		t.Errorf("module path = %q, want repro", l.ModulePath)
+	}
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatalf("LoadDir(.): %v", err)
+	}
+	if pkg.Path != "repro/internal/analysis" {
+		t.Errorf("path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatal("package not fully populated")
+	}
+	for _, f := range pkg.Files {
+		name := l.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s was loaded", name)
+		}
+	}
+	// Loading twice returns the memoized package.
+	again, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatalf("second LoadDir: %v", err)
+	}
+	if again != pkg {
+		t.Error("LoadDir did not memoize")
+	}
+	// A fixture importing module-internal packages resolves through the
+	// loader's importer.
+	fix, err := l.LoadDir(filepath.Join("testdata", "src", "unpinpair"))
+	if err != nil {
+		t.Fatalf("fixture load: %v", err)
+	}
+	if !strings.Contains(fix.Path, "testdata") {
+		t.Errorf("fixture path %q should be synthetic under testdata", fix.Path)
+	}
+}

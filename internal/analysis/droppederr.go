@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDroppedErr flags calls whose final error result is silently
+// dropped: either the call stands alone as an expression statement, or the
+// error position is assigned to the blank identifier. Dropped errors around
+// the pager and buffer pool silently corrupt the paper's I/O accounting, so
+// intentional drops must be annotated with //avqlint:ignore droppederr and
+// a justification.
+//
+// Deliberate exclusions, documented here because they are policy:
+//   - defer and go statements, including calls inside deferred closures
+//     (no propagation path at that point; flushing cleanup errors is the
+//     enclosing function's Close contract);
+//   - the fmt Print/Fprint family (conventionally unchecked);
+//   - methods on strings.Builder and bytes.Buffer, whose Write methods are
+//     documented never to return a non-nil error.
+//
+// Test files are never analyzed (the loader skips them).
+var AnalyzerDroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "error results must be handled, not discarded with _ or a bare call statement",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := unparen(n.X).(*ast.CallExpr)
+				if !ok || inDefer(stack) {
+					return
+				}
+				if sig := errorReturningCall(pass.Pkg, call); sig != nil && !isExcusedCallee(pass.Pkg, call) {
+					pass.Report(n.Pos(), "dropped error: result of %s is discarded", types.ExprString(call.Fun))
+				}
+			case *ast.AssignStmt:
+				checkAssignDrops(pass, n)
+			}
+		})
+	})
+}
+
+// inDefer reports whether the ancestor chain passes through a defer
+// statement; a call in a deferred closure is excluded exactly like a
+// directly deferred call.
+func inDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// checkAssignDrops reports error results assigned to the blank identifier.
+func checkAssignDrops(pass *Pass, as *ast.AssignStmt) {
+	// Tuple form: a, _ := f() with the error in final position.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig := errorReturningCall(pass.Pkg, call)
+		if sig == nil || sig.Results().Len() != len(as.Lhs) || isExcusedCallee(pass.Pkg, call) {
+			return
+		}
+		if isBlank(as.Lhs[len(as.Lhs)-1]) {
+			pass.Report(as.Pos(), "dropped error: final result of %s assigned to _", types.ExprString(call.Fun))
+		}
+		return
+	}
+	// Parallel form: _ = f() for each position.
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if sig := errorReturningCall(pass.Pkg, call); sig != nil && sig.Results().Len() == 1 && !isExcusedCallee(pass.Pkg, call) {
+			pass.Report(as.Lhs[i].Pos(), "dropped error: result of %s assigned to _", types.ExprString(call.Fun))
+		}
+	}
+}
+
+// errorReturningCall returns the callee signature when call's final result
+// is an error, and nil otherwise (including for conversions and builtins).
+func errorReturningCall(pkg *Package, call *ast.CallExpr) *types.Signature {
+	sig := calleeSignature(pkg, call)
+	if sig == nil || sig.Results().Len() == 0 {
+		return nil
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return nil
+	}
+	return sig
+}
+
+// isExcusedCallee implements the documented exclusion list.
+func isExcusedCallee(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Methods on never-failing writers.
+	if recv, _, ok := methodCall(pkg, call); ok {
+		t := pkg.Info.TypeOf(recv)
+		return namedFrom(t, "strings", "Builder") || namedFrom(t, "bytes", "Buffer")
+	}
+	// fmt.Print / fmt.Println / fmt.Printf / fmt.Fprint* package functions.
+	if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerFrameAlias flags uses of a Frame.Data() result after the frame
+// has been unpinned in the same function. Data() returns a slice aliasing
+// pool memory that is valid only while the frame is pinned: after Unpin the
+// frame may be evicted and the page reused for different contents, so any
+// later read or write through the slice is a use-after-free. The check is
+// textual-order flow-insensitive: a non-deferred Unpin(f) poisons every
+// later use of f's data slice (and every later f.Data() call) in the
+// function body. Deferred unpins run at return and never poison anything.
+var AnalyzerFrameAlias = &Analyzer{
+	Name: "framealias",
+	Doc:  "a Frame.Data() slice must not be used after the frame's Unpin",
+	Run:  runFrameAlias,
+}
+
+func runFrameAlias(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, bufferPkg) {
+		return
+	}
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		// unpinEnd maps a frame variable to the end of its earliest
+		// non-deferred Unpin call.
+		unpinEnd := make(map[types.Object]token.Pos)
+		// dataVars maps a variable assigned from f.Data() to the frame f.
+		dataVars := make(map[types.Object]types.Object)
+
+		walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if _, _, ok := isPoolMethod(pass.Pkg, call, "Unpin"); ok && len(call.Args) == 1 {
+				if runsAtExit(stack) {
+					return
+				}
+				obj := identObj(pass.Pkg, unparen(call.Args[0]))
+				if obj == nil {
+					return
+				}
+				if end, seen := unpinEnd[obj]; !seen || call.End() < end {
+					unpinEnd[obj] = call.End()
+				}
+				return
+			}
+			if frame, ok := frameDataCall(pass.Pkg, call); ok {
+				if parent, isAssign := parentOf(stack).(*ast.AssignStmt); isAssign &&
+					len(parent.Rhs) == 1 && len(parent.Lhs) == 1 {
+					if obj := identObj(pass.Pkg, parent.Lhs[0]); obj != nil {
+						dataVars[obj] = frame
+					}
+				}
+			}
+		})
+		if len(unpinEnd) == 0 {
+			return
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.Pkg.Info.Uses[n]
+				if obj == nil {
+					return true
+				}
+				frame, isData := dataVars[obj]
+				if !isData {
+					return true
+				}
+				if end, ok := unpinEnd[frame]; ok && n.Pos() > end {
+					pass.Report(n.Pos(), "use of %q, a Frame.Data() slice of frame %q, after the frame's Unpin", obj.Name(), frame.Name())
+				}
+			case *ast.CallExpr:
+				frame, ok := frameDataCall(pass.Pkg, n)
+				if !ok {
+					return true
+				}
+				if end, ok := unpinEnd[frame]; ok && n.Pos() > end {
+					pass.Report(n.Pos(), "Frame.Data() called on frame %q after its Unpin", frame.Name())
+				}
+			}
+			return true
+		})
+	})
+}
+
+// frameDataCall recognizes f.Data() on a buffer.Frame and returns f's
+// object.
+func frameDataCall(pkg *Package, call *ast.CallExpr) (types.Object, bool) {
+	recv, name, ok := methodCall(pkg, call)
+	if !ok || name != "Data" || !namedFrom(pkg.Info.TypeOf(recv), bufferPkg, "Frame") {
+		return nil, false
+	}
+	obj := identObj(pkg, unparen(recv))
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// runsAtExit reports whether the node whose ancestor stack is given
+// executes at function exit or on another goroutine's schedule (inside a
+// defer statement or a function literal) rather than in textual order.
+func runsAtExit(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt:
+			return true
+		}
+	}
+	return false
+}

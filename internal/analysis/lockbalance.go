@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockBalance flags sync.Mutex/sync.RWMutex Lock (and RLock) calls
+// with no matching Unlock (RUnlock) on the same lock expression anywhere in
+// the same function, deferred or not. The check is flow-insensitive and
+// counts call sites per lock expression: a function may lock and unlock in
+// separate branches, but a function that locks strictly more times than it
+// unlocks holds the lock on some path and is reported. Functions that only
+// unlock (lock-ownership helpers) are not flagged.
+var AnalyzerLockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "every Mutex/RWMutex Lock needs a matching Unlock in the same function",
+	Run:  runLockBalance,
+}
+
+func runLockBalance(pass *Pass) {
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		type balance struct {
+			locks, unlocks int
+			first          *ast.CallExpr
+			lockName       string
+		}
+		counts := make(map[string]*balance)
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := methodCall(pass.Pkg, call)
+			if !ok || !isSyncMutex(pass.Pkg.Info.TypeOf(recv)) {
+				return true
+			}
+			// Key by the printed lock expression plus the lock flavor, so
+			// s.mu.RLock pairs with s.mu.RUnlock but not s.mu.Unlock.
+			var key, flavor string
+			switch name {
+			case "Lock", "Unlock":
+				flavor = "Lock"
+			case "RLock", "RUnlock":
+				flavor = "RLock"
+			default:
+				return true
+			}
+			key = types.ExprString(recv) + "\x00" + flavor
+			b := counts[key]
+			if b == nil {
+				b = &balance{}
+				counts[key] = b
+			}
+			switch name {
+			case "Lock", "RLock":
+				b.locks++
+				if b.first == nil {
+					b.first = call
+					b.lockName = types.ExprString(recv) + "." + name
+				}
+			default:
+				b.unlocks++
+			}
+			return true
+		})
+
+		for _, b := range counts {
+			if b.locks > b.unlocks {
+				pass.Report(b.first.Pos(), "%s() has %d lock call(s) but only %d unlock call(s) in this function", b.lockName, b.locks, b.unlocks)
+			}
+		}
+	})
+}
+
+// isSyncMutex reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	return namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex")
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerOrdWidth guards the mixed-radix ordinal arithmetic (φ and φ⁻¹,
+// Eq. 2.2-2.5 of the paper) against silent truncation: it flags integer
+// conversions that narrow the width of an arithmetic result, i.e. a
+// conversion T(a op b) where op grows magnitude (+, -, *, <<) and T is a
+// fixed-width integer type strictly narrower than the operand type. Digit
+// arithmetic on ordinal tuples is carried in uint64; narrowing the result
+// of an addition or multiplication (rather than a plain value, a masked
+// value, or a right-shifted value) is exactly where overflow bugs hide.
+// Constant expressions are exempt: the compiler range-checks those.
+var AnalyzerOrdWidth = &Analyzer{
+	Name: "ordwidth",
+	Doc:  "never narrow the integer width of an arithmetic result with a conversion",
+	Run:  runOrdWidth,
+}
+
+// growthOps are the operators that can increase magnitude beyond either
+// operand; truncating their result is flagged. Right shift, masking, and
+// division reduce magnitude and stay idiomatic for byte extraction.
+var growthOps = map[token.Token]bool{
+	token.ADD: true,
+	token.SUB: true,
+	token.MUL: true,
+	token.SHL: true,
+}
+
+func runOrdWidth(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a real call, not a conversion
+			}
+			dstBits, dstOK := intWidth(pass.Pkg.Info.TypeOf(call))
+			if !dstOK {
+				return true
+			}
+			arg := unparen(call.Args[0])
+			be, ok := arg.(*ast.BinaryExpr)
+			if !ok || !growthOps[be.Op] {
+				return true
+			}
+			if av, ok := pass.Pkg.Info.Types[arg]; ok && av.Value != nil {
+				return true // constant-folded; compiler range-checks it
+			}
+			srcBits, srcOK := intWidth(pass.Pkg.Info.TypeOf(arg))
+			if !srcOK || dstBits >= srcBits {
+				return true
+			}
+			pass.Report(call.Pos(), "conversion to %s narrows %d-bit arithmetic result %q to %d bits; compute in the narrow type or mask explicitly",
+				types.ExprString(call.Fun), srcBits, types.ExprString(arg), dstBits)
+			return true
+		})
+	}
+}
+
+// intWidth returns the bit width of an integer type, treating int, uint,
+// and uintptr as 64-bit (this repository only targets 64-bit platforms).
+func intWidth(t types.Type) (int, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8, true
+	case types.Int16, types.Uint16:
+		return 16, true
+	case types.Int32, types.Uint32:
+		return 32, true
+	default:
+		return 64, true
+	}
+}

@@ -1,0 +1,74 @@
+// Package droppederr is an analyzer fixture: silently dropped error
+// results and the documented exclusions.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error                { return nil }
+func (closer) Write(p []byte) (int, error) { return len(p), nil }
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// dropExpr discards an error-returning call as a statement.
+func dropExpr(c closer) {
+	c.Close()
+}
+
+// dropBlank discards a lone error with the blank identifier.
+func dropBlank() {
+	_ = fail()
+}
+
+// dropTuple discards the final error of a multi-result call.
+func dropTuple() int {
+	n, _ := pair()
+	return n
+}
+
+// suppressedDrop is annotated with a justification.
+func suppressedDrop(c closer) {
+	c.Close() //avqlint:ignore droppederr fixture: proves suppression works
+}
+
+// goodHandled propagates the error.
+func goodHandled(c closer) error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// goodDefer relies on the documented defer exclusion, directly and through
+// a closure.
+func goodDefer(c closer) {
+	defer c.Close()
+	defer func() {
+		c.Close()
+	}()
+}
+
+// goodFmt relies on the fmt Print-family exclusion.
+func goodFmt(c closer) {
+	fmt.Println("hello")
+	fmt.Fprintf(c, "world %d", 42)
+}
+
+// goodBuilder relies on the never-failing-writer exclusion.
+func goodBuilder() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	return b.String()
+}
+
+// goodNoError calls something with no error result at all.
+func goodNoError() {
+	strings.Repeat("x", 3)
+}

@@ -1,0 +1,58 @@
+// Package framealias is an analyzer fixture: uses of Frame.Data slices
+// after Unpin, and correct pin-scoped uses.
+package framealias
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// useAfterUnpin reads a data slice after releasing the pin.
+func useAfterUnpin(p *buffer.Pool, id storage.PageID) (byte, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	d := f.Data()
+	if err := p.Unpin(f); err != nil {
+		return 0, err
+	}
+	return d[0], nil
+}
+
+// callAfterUnpin calls Data() itself after the unpin.
+func callAfterUnpin(p *buffer.Pool, id storage.PageID) (int, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Unpin(f); err != nil {
+		return 0, err
+	}
+	return len(f.Data()), nil
+}
+
+// goodBeforeUnpin copies what it needs while pinned.
+func goodBeforeUnpin(p *buffer.Pool, id storage.PageID) (byte, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	d := f.Data()
+	b := d[0]
+	if err := p.Unpin(f); err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// goodDeferUnpin may use the slice anywhere: the unpin runs at return.
+func goodDeferUnpin(p *buffer.Pool, id storage.PageID) (byte, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin(f)
+	d := f.Data()
+	return d[len(d)-1], nil
+}

@@ -1,0 +1,66 @@
+// Package lockbalance is an analyzer fixture: unbalanced and balanced
+// mutex usage.
+package lockbalance
+
+import "sync"
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data int
+}
+
+// leakLock locks and forgets to unlock on the early-return path — the
+// flow-insensitive count sees one Lock and zero Unlocks.
+func (g *guarded) leakLock(fail bool) int {
+	g.mu.Lock()
+	if fail {
+		return -1
+	}
+	v := g.data
+	return v
+}
+
+// mismatchedFlavor pairs an RLock with a write Unlock; the read side stays
+// unbalanced.
+func (g *guarded) mismatchedFlavor() int {
+	g.rw.RLock()
+	v := g.data
+	g.rw.Unlock()
+	return v
+}
+
+// goodDefer is the canonical pattern.
+func (g *guarded) goodDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.data
+}
+
+// goodBranches locks once and unlocks on every branch; the counts balance.
+func (g *guarded) goodBranches(fast bool) int {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return 0
+	}
+	v := g.data
+	g.mu.Unlock()
+	return v
+}
+
+// goodReadWrite uses both flavors, each balanced.
+func (g *guarded) goodReadWrite() int {
+	g.rw.RLock()
+	v := g.data
+	g.rw.RUnlock()
+	g.rw.Lock()
+	g.data = v + 1
+	g.rw.Unlock()
+	return v
+}
+
+// goodUnlockOnly is a lock-ownership helper; surplus unlocks are fine.
+func (g *guarded) goodUnlockOnly() {
+	g.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package ordwidth is an analyzer fixture: conversions that truncate
+// arithmetic results versus idiomatic byte extraction.
+package ordwidth
+
+// truncateAdd narrows a 64-bit sum to 32 bits.
+func truncateAdd(a, b uint64) uint32 {
+	return uint32(a + b)
+}
+
+// truncateMul narrows a 64-bit product to a byte.
+func truncateMul(x, y uint64) byte {
+	return byte(x * y)
+}
+
+// truncateShift narrows a left-shifted int to 16 bits.
+func truncateShift(n int) uint16 {
+	return uint16(n << 4)
+}
+
+// truncateSub narrows an int difference to 8 bits.
+func truncateSub(hi, lo int) int8 {
+	return int8(hi - lo)
+}
+
+// suppressedTruncate documents an intentional wraparound.
+func suppressedTruncate(a, b uint64) uint32 {
+	return uint32(a + b) //avqlint:ignore ordwidth fixture: proves suppression works
+}
+
+// goodByteExtract right-shifts before narrowing: magnitude only shrinks.
+func goodByteExtract(v uint64) byte {
+	return byte(v >> 56)
+}
+
+// goodMask masks before narrowing.
+func goodMask(v uint64) byte {
+	return byte(v & 0xff)
+}
+
+// goodWiden converts operands before the arithmetic instead of the result.
+func goodWiden(i int, d uint64) uint64 {
+	return uint64(i) + d
+}
+
+// goodSameWidth keeps the width; uint64 and int are both 64-bit here.
+func goodSameWidth(a, b uint64) int {
+	return int(a - b)
+}
+
+// goodConstant is folded and range-checked by the compiler.
+func goodConstant() uint8 {
+	return uint8(3 + 4)
+}

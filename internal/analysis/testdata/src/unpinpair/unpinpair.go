@@ -1,0 +1,83 @@
+// Package unpinpair is an analyzer fixture: functions that leak buffer-pool
+// pins and functions that handle them correctly.
+package unpinpair
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// leak pins a frame and never unpins it.
+func leak(p *buffer.Pool, id storage.PageID) (int, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return len(f.Data()), nil
+}
+
+// discardExpr pins a frame and throws the result away outright.
+func discardExpr(p *buffer.Pool) {
+	p.Allocate()
+}
+
+// discardBlank pins a frame into the blank identifier.
+func discardBlank(p *buffer.Pool, id storage.PageID) error {
+	_, err := p.Get(id)
+	return err
+}
+
+// suppressedLeak is a known leak with a justification.
+func suppressedLeak(p *buffer.Pool, id storage.PageID) (int, error) {
+	f, err := p.Get(id) //avqlint:ignore unpinpair fixture: proves suppression works
+	if err != nil {
+		return 0, err
+	}
+	return len(f.Data()), nil
+}
+
+// goodDefer unpins via defer.
+func goodDefer(p *buffer.Pool, id storage.PageID) (int, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	defer p.Unpin(f)
+	return len(f.Data()), nil
+}
+
+// goodExplicit unpins on the success path and checks the error.
+func goodExplicit(p *buffer.Pool, id storage.PageID) (byte, error) {
+	f, err := p.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	b := f.Data()[0]
+	if err := p.Unpin(f); err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// goodReturn hands the pinned frame to the caller, which owns the unpin.
+func goodReturn(p *buffer.Pool) (*buffer.Frame, error) {
+	f, err := p.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f.MarkDirty()
+	return f, nil
+}
+
+// goodEscape hands the frame to a helper, which owns the unpin.
+func goodEscape(p *buffer.Pool, id storage.PageID) error {
+	f, err := p.Get(id)
+	if err != nil {
+		return err
+	}
+	return release(p, f)
+}
+
+func release(p *buffer.Pool, f *buffer.Frame) error {
+	return p.Unpin(f)
+}

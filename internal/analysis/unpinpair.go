@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bufferPkg suffix-matches the buffer-pool package that defines Pool and
+// Frame.
+const bufferPkg = "internal/buffer"
+
+// AnalyzerUnpinPair flags buffer-pool pins (Pool.Get, Pool.Allocate) whose
+// frame never reaches Pool.Unpin in the same function. The check is
+// flow-insensitive: a single Unpin call — deferred or not, anywhere in the
+// function including closures — satisfies every pin of that frame variable.
+// A frame that escapes the function (returned, stored, or passed to another
+// call) is the callee's responsibility and is not flagged. Discarding a
+// pinned frame outright (blank identifier or bare expression statement) is
+// always a leak.
+var AnalyzerUnpinPair = &Analyzer{
+	Name: "unpinpair",
+	Doc:  "every Pool.Get/Allocate frame must be unpinned, returned, or escape in the same function",
+	Run:  runUnpinPair,
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// buffer.Pool receiver, returning the receiver expression.
+func isPoolMethod(pkg *Package, call *ast.CallExpr, names ...string) (ast.Expr, string, bool) {
+	recv, name, ok := methodCall(pkg, call)
+	if !ok || !namedFrom(pkg.Info.TypeOf(recv), bufferPkg, "Pool") {
+		return nil, "", false
+	}
+	for _, n := range names {
+		if name == n {
+			return recv, name, true
+		}
+	}
+	return nil, "", false
+}
+
+func runUnpinPair(pass *Pass) {
+	// The pool's own implementation creates and reaps frames freely.
+	if strings.HasSuffix(pass.Pkg.Path, bufferPkg) {
+		return
+	}
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		type pinSite struct {
+			call *ast.CallExpr
+			name string
+			obj  types.Object
+		}
+		var pins []pinSite
+		unpinned := make(map[types.Object]bool)
+		escaped := make(map[types.Object]bool)
+		pinObjs := make(map[types.Object]bool)
+
+		// First sweep: classify every pin and unpin call by its parent node.
+		walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if _, _, ok := isPoolMethod(pass.Pkg, call, "Unpin"); ok {
+				if len(call.Args) == 1 {
+					if obj := identObj(pass.Pkg, unparen(call.Args[0])); obj != nil {
+						unpinned[obj] = true
+					}
+				}
+				return
+			}
+			_, name, ok := isPoolMethod(pass.Pkg, call, "Get", "Allocate")
+			if !ok {
+				return
+			}
+			switch parent := parentOf(stack).(type) {
+			case *ast.AssignStmt:
+				// f, err := pool.Get(id): the frame is Lhs[0].
+				if len(parent.Rhs) == 1 && len(parent.Lhs) >= 1 {
+					if obj := identObj(pass.Pkg, parent.Lhs[0]); obj != nil {
+						pins = append(pins, pinSite{call, name, obj})
+						pinObjs[obj] = true
+						return
+					}
+				}
+				pass.Report(call.Pos(), "frame pinned by Pool.%s is discarded; it can never be unpinned", name)
+			case *ast.ExprStmt:
+				pass.Report(call.Pos(), "frame pinned by Pool.%s is discarded; it can never be unpinned", name)
+			default:
+				// Nested in a return or another call: the frame escapes and
+				// the receiver is responsible for it.
+			}
+		})
+		if len(pins) == 0 {
+			return
+		}
+
+		// Second sweep: a frame identifier that is returned, reassigned, or
+		// handed to any call other than Unpin escapes the function.
+		walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || !pinObjs[obj] {
+				return
+			}
+			switch parent := parentOf(stack).(type) {
+			case *ast.SelectorExpr:
+				// f.Data(), f.ID(), f.MarkDirty(): plain use, no escape.
+			case *ast.CallExpr:
+				if _, _, isUnpin := isPoolMethod(pass.Pkg, parent, "Unpin"); !isUnpin {
+					escaped[obj] = true
+				}
+			case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.IndexExpr:
+				escaped[obj] = true
+			case *ast.UnaryExpr:
+				if parent.Op.String() == "&" {
+					escaped[obj] = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range parent.Rhs {
+					if unparen(rhs) == id {
+						escaped[obj] = true
+					}
+				}
+			}
+		})
+
+		for _, pin := range pins {
+			if !unpinned[pin.obj] && !escaped[pin.obj] {
+				pass.Report(pin.call.Pos(), "frame %q pinned by Pool.%s is never unpinned in this function", pin.obj.Name(), pin.name)
+			}
+		}
+	})
+}
+
+// walkWithStack traverses n, calling fn with each node and the stack of its
+// ancestors (nearest last, not including the node itself).
+func walkWithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parentOf returns the immediate ancestor from a walkWithStack stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}

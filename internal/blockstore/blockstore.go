@@ -536,7 +536,9 @@ func (s *Store) ComputeStats() (Stats, error) {
 		data := frame.Data()
 		l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
 		info, err := core.Inspect(data[lenPrefix : lenPrefix+l])
-		s.pool.Unpin(frame)
+		if uerr := s.pool.Unpin(frame); err == nil {
+			err = uerr
+		}
 		if err != nil {
 			return Stats{}, err
 		}

@@ -69,7 +69,7 @@ func TestBulkLoadRoundTrip(t *testing.T) {
 			if len(refs) != s.NumBlocks() {
 				t.Fatalf("%d refs for %d blocks", len(refs), s.NumBlocks())
 			}
-			if err := s.CheckInvariants(); err != nil {
+			if err := s.Check(); err != nil {
 				t.Fatal(err)
 			}
 			var got []relation.Tuple
@@ -160,7 +160,7 @@ func TestInsertIntoBlock(t *testing.T) {
 			if len(res.Blocks) == 0 {
 				t.Fatal("no block refs returned")
 			}
-			if err := s.CheckInvariants(); err != nil {
+			if err := s.Check(); err != nil {
 				t.Fatal(err)
 			}
 			count := 0
@@ -199,7 +199,7 @@ func TestInsertForcesSplit(t *testing.T) {
 			split = true
 		}
 		target = res.Blocks[0].Page
-		if err := s.CheckInvariants(); err != nil {
+		if err := s.Check(); err != nil {
 			t.Fatalf("after insert %d: %v", i, err)
 		}
 	}
@@ -237,7 +237,7 @@ func TestDeleteFromBlock(t *testing.T) {
 	if res.HasRemoved {
 		t.Fatal("block should not be empty yet")
 	}
-	if err := s.CheckInvariants(); err != nil {
+	if err := s.Check(); err != nil {
 		t.Fatal(err)
 	}
 	// Delete a tuple that does not exist in this block.
@@ -281,7 +281,7 @@ func TestDeleteEmptiesBlock(t *testing.T) {
 	if s.NumBlocks() != before-1 {
 		t.Fatalf("blocks = %d, want %d", s.NumBlocks(), before-1)
 	}
-	if err := s.CheckInvariants(); err != nil {
+	if err := s.Check(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.ReadBlock(cur); err == nil {
@@ -422,7 +422,7 @@ func TestRandomizedMutations(t *testing.T) {
 					}
 				}
 				if op%50 == 0 {
-					if err := s.CheckInvariants(); err != nil {
+					if err := s.Check(); err != nil {
 						t.Fatalf("op %d: %v", op, err)
 					}
 				}
@@ -480,7 +480,7 @@ func TestRestore(t *testing.T) {
 	if err := dst.Restore(layout); err != nil {
 		t.Fatal(err)
 	}
-	if err := dst.CheckInvariants(); err != nil {
+	if err := dst.Check(); err != nil {
 		t.Fatal(err)
 	}
 	count := 0
@@ -536,7 +536,7 @@ func TestRewriteBlockValidation(t *testing.T) {
 	if _, err := s.ReadBlock(refs[0].Page); err == nil {
 		t.Fatal("original page still readable after COW rewrite")
 	}
-	if err := s.CheckInvariants(); err != nil {
+	if err := s.Check(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -556,7 +556,7 @@ func TestResetStore(t *testing.T) {
 	if _, err := s.BulkLoad(randomTuples(t, 100, 23)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.CheckInvariants(); err != nil {
+	if err := s.Check(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -568,5 +568,62 @@ func TestBulkLoadStreamErrors(t *testing.T) {
 	}
 	if _, err := s.BulkLoadStream(boom); err == nil {
 		t.Fatal("stream error swallowed")
+	}
+}
+
+// TestCheckDetectsCorruption flips bytes on a loaded page and verifies the
+// deep checker refuses the store, for every codec.
+func TestCheckDetectsCorruption(t *testing.T) {
+	for _, codec := range allCodecs() {
+		t.Run(codec.String(), func(t *testing.T) {
+			s := newStore(t, codec, 512)
+			if _, err := s.BulkLoad(randomTuples(t, 500, 7)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Check(); err != nil {
+				t.Fatalf("clean store: %v", err)
+			}
+			// Corrupt the middle of the first block's coded stream, behind
+			// the pool's back, and drop the cache so Check rereads it.
+			id := s.Blocks()[0]
+			if err := s.pool.DropAll(); err != nil {
+				t.Fatal(err)
+			}
+			page := make([]byte, s.pool.PageSize())
+			if err := s.pool.Pager().Read(id, page); err != nil {
+				t.Fatal(err)
+			}
+			page[lenPrefix+10] ^= 0xff
+			if err := s.pool.Pager().Write(id, page); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Check(); err == nil {
+				t.Fatal("Check accepted a corrupted block")
+			}
+		})
+	}
+}
+
+// TestCheckDetectsHeaderLie rewrites the stream-length prefix to an
+// impossible value and verifies the header validation catches it.
+func TestCheckDetectsHeaderLie(t *testing.T) {
+	s := newStore(t, core.CodecAVQ, 512)
+	if _, err := s.BulkLoad(randomTuples(t, 200, 9)); err != nil {
+		t.Fatal(err)
+	}
+	id := s.Blocks()[0]
+	if err := s.pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, s.pool.PageSize())
+	if err := s.pool.Pager().Read(id, page); err != nil {
+		t.Fatal(err)
+	}
+	page[0], page[1], page[2], page[3] = 0xff, 0xff, 0xff, 0xff
+	if err := s.pool.Pager().Write(id, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Check(); err == nil {
+		t.Fatal("Check accepted an impossible stream length")
 	}
 }

@@ -1,0 +1,100 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ordinal"
+	"repro/internal/relation"
+)
+
+// Check is the deep runtime invariant checker, in the spirit of
+// btree.CheckInvariants: beyond the layout checks of CheckInvariants it
+// validates every block at the coded level.
+//
+// Per block it verifies:
+//   - the page header: the stream-length prefix fits the page capacity;
+//   - the coded stream: magic byte, CRC, a codec matching the store's, and
+//     a header tuple count agreeing with what actually decodes;
+//   - that every stored difference decodes back to a tuple inside the
+//     schema's φ space (every digit below its domain size) and inside the
+//     block's φ range — at or after the block's first (representative-
+//     anchored) tuple and strictly before the next block's first tuple;
+//   - representative-tuple ordering across blocks, cross-checked with the
+//     arbitrary-precision φ of each block's first tuple, so a bug in the
+//     digit-wise comparator cannot hide a mis-ordered layout.
+//
+// Tests and the avqtool verify path use it; it reads every block through
+// the pool, so it is O(data) and not for hot paths.
+func (s *Store) Check() error {
+	if err := s.CheckInvariants(); err != nil {
+		return err
+	}
+	for i, id := range s.blocks {
+		// Header and stream validation against the raw page.
+		frame, err := s.pool.Get(id)
+		if err != nil {
+			return fmt.Errorf("blockstore: check block %d: %w", i, err)
+		}
+		data := frame.Data()
+		l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
+		var info core.BlockInfo
+		if l > s.capacity() {
+			err = fmt.Errorf("blockstore: block %d header claims %d stream bytes, page capacity is %d", i, l, s.capacity())
+		} else {
+			info, err = core.Inspect(data[lenPrefix : lenPrefix+l])
+		}
+		stream := append([]byte(nil), data[lenPrefix:lenPrefix+min(l, s.capacity())]...)
+		if uerr := s.pool.Unpin(frame); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return fmt.Errorf("blockstore: check block %d: %w", i, err)
+		}
+		if info.Codec != s.codec {
+			return fmt.Errorf("blockstore: block %d coded with %v, store uses %v", i, info.Codec, s.codec)
+		}
+
+		// Every stored difference must decode back to a tuple in range.
+		tuples, err := core.DecodeBlock(s.schema, stream)
+		if err != nil {
+			return fmt.Errorf("blockstore: check block %d: %w", i, err)
+		}
+		if len(tuples) != info.TupleCount {
+			return fmt.Errorf("blockstore: block %d header says %d tuples, %d decoded", i, info.TupleCount, len(tuples))
+		}
+		var next relation.Tuple // first tuple of the following block, if any
+		if i+1 < len(s.blocks) {
+			nt, err := s.ReadBlock(s.blocks[i+1])
+			if err != nil {
+				return fmt.Errorf("blockstore: check block %d successor: %w", i, err)
+			}
+			next = nt[0]
+		}
+		for j, tu := range tuples {
+			if err := s.schema.ValidateTuple(tu); err != nil {
+				return fmt.Errorf("blockstore: block %d tuple %d outside schema space: %w", i, j, err)
+			}
+			if s.schema.Compare(tu, tuples[0]) < 0 {
+				return fmt.Errorf("blockstore: block %d tuple %d below the block's first tuple", i, j)
+			}
+			if next != nil && s.schema.Compare(tu, next) > 0 {
+				return fmt.Errorf("blockstore: block %d tuple %d beyond the next block's first tuple", i, j)
+			}
+		}
+
+		// Representative ordering, cross-checked in exact arithmetic.
+		if next != nil {
+			digitCmp := s.schema.Compare(tuples[0], next)
+			phiCmp := ordinal.Phi(s.schema, tuples[0]).Cmp(ordinal.Phi(s.schema, next))
+			if digitCmp > 0 {
+				return fmt.Errorf("blockstore: block %d first tuple above block %d first tuple", i, i+1)
+			}
+			if (digitCmp < 0) != (phiCmp < 0) || (digitCmp == 0) != (phiCmp == 0) {
+				return fmt.Errorf("blockstore: blocks %d/%d: digit comparison %d disagrees with φ comparison %d", i, i+1, digitCmp, phiCmp)
+			}
+		}
+	}
+	return nil
+}

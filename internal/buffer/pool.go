@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simdisk"
 	"repro/internal/storage"
@@ -26,11 +27,15 @@ var (
 
 // Frame is a pinned page in the pool. The frame's data remains valid until
 // Unpin; mutating it requires MarkDirty so the change is written back.
+//
+// MarkDirty is safe to call from concurrent pin holders; mutating the Data
+// slice itself still needs external serialization (the table layer takes
+// an exclusive lock around mutations).
 type Frame struct {
 	id    storage.PageID
 	data  []byte
 	pins  int
-	dirty bool
+	dirty atomic.Bool
 
 	// LRU list links; a frame is on the list only while unpinned.
 	prev, next *Frame
@@ -45,7 +50,7 @@ func (f *Frame) Data() []byte { return f.data }
 
 // MarkDirty records that the frame's data was modified and must be written
 // back before eviction.
-func (f *Frame) MarkDirty() { f.dirty = true }
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
 // Stats is a snapshot of pool counters.
 type Stats struct {
@@ -125,7 +130,7 @@ func (p *Pool) evictLocked() error {
 		return ErrPoolFull
 	}
 	p.lruRemove(victim)
-	if victim.dirty {
+	if victim.dirty.Load() {
 		if err := p.writeBackLocked(victim); err != nil {
 			// Re-link so the pool stays consistent after the error.
 			p.lruPush(victim)
@@ -144,7 +149,7 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 	if p.disk != nil {
 		p.disk.RecordWritePage(int64(f.id), len(f.data))
 	}
-	f.dirty = false
+	f.dirty.Store(false)
 	p.stats.Flushes++
 	return nil
 }
@@ -246,7 +251,7 @@ func (p *Pool) Flush() error {
 		return ErrPoolClosed
 	}
 	for _, f := range p.frames {
-		if f.dirty {
+		if f.dirty.Load() {
 			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}
@@ -268,7 +273,7 @@ func (p *Pool) DropAll() error {
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: drop-all with pinned page %d", id)
 		}
-		if f.dirty {
+		if f.dirty.Load() {
 			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}
@@ -302,7 +307,7 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	for _, f := range p.frames {
-		if f.dirty {
+		if f.dirty.Load() {
 			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}

@@ -84,12 +84,12 @@ func (s *Sorter) spill() error {
 	for _, tu := range s.batch {
 		buf = s.schema.EncodeTuple(buf[:0], tu)
 		if _, err := w.Write(buf); err != nil {
-			f.Close()
+			f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -193,11 +193,11 @@ func OpenFilePager(path string, pageSize int) (*FilePager, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size()%int64(pageSize) != 0 {
-		f.Close()
+		f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of page size %d", path, st.Size(), pageSize)
 	}
 	return &FilePager{

@@ -301,7 +301,7 @@ func Open(path string, opts Options) (*Table, error) {
 		return nil, err
 	}
 	if probe.NumPages() < 2 {
-		probe.Close()
+		probe.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, errors.New("table: file holds no catalog; use Create")
 	}
 	var (
@@ -355,7 +355,7 @@ func Open(path string, opts Options) (*Table, error) {
 	t.catalogChains = chains
 	t.generation = best.generation
 	if err := t.store.Restore(best.blocks); err != nil {
-		t.Close()
+		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, err
 	}
 	// Rebuild the in-memory indexes from the data blocks.
@@ -371,11 +371,11 @@ func Open(path string, opts Options) (*Table, error) {
 		count += len(ts)
 		return true
 	}); err != nil {
-		t.Close()
+		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, err
 	}
 	if count != best.size {
-		t.Close()
+		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, fmt.Errorf("table: catalog says %d tuples, blocks hold %d", best.size, count)
 	}
 	t.size = count
@@ -393,7 +393,7 @@ func Open(path string, opts Options) (*Table, error) {
 	for id := 0; id < t.pager.NumPages(); id++ {
 		if !referenced[storage.PageID(id)] {
 			if err := t.pager.Free(storage.PageID(id)); err != nil {
-				t.Close()
+				t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 				return nil, err
 			}
 		}

@@ -181,8 +181,8 @@ func Create(schema *relation.Schema, opts Options) (*Table, error) {
 	}
 	if t.persistent() {
 		if t.pager.NumPages() != 0 {
-			t.pool.Close()
-			t.pager.Close()
+			t.pool.Close()  //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			t.pager.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 			return nil, fmt.Errorf("table: %s already holds pages; use Open", opts.Path)
 		}
 		if err := t.initCatalogHeads(); err != nil {
@@ -568,7 +568,9 @@ func (t *Table) Scan(fn func(relation.Tuple) bool) error {
 // agreement of the primary index with block firsts, secondary bucket
 // counts against actual block contents, and the tuple count.
 func (t *Table) CheckInvariants() error {
-	if err := t.store.CheckInvariants(); err != nil {
+	// Deep store check: page headers, stream checksums, and per-tuple φ
+	// range membership, not just the layout maps.
+	if err := t.store.Check(); err != nil {
 		return err
 	}
 	if err := t.primary.CheckInvariants(); err != nil {

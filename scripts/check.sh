@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# check.sh — the repo's one-command verification gate.
+#
+# Runs, in order: formatting, go vet, the build, the avqlint static-analysis
+# suite (internal/analysis), the full test suite, and the race-focused test
+# run over the concurrency-sensitive packages. Fails fast on the first
+# broken stage so CI output points at one problem.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal examples *.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== avqlint"
+go run ./cmd/avqlint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/buffer ./internal/table ./internal/simdisk
+
+echo "check.sh: all gates passed"
