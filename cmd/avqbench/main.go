@@ -20,20 +20,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
 		seed     = flag.Int64("seed", 1995, "generator seed")
+		parallel = flag.Int("parallel", 0, "pipeline experiment worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*exp, *tuples, *reps, *pageSize, *seed); err != nil {
+	if err := run(*exp, *tuples, *reps, *pageSize, *seed, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "avqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, tuples, reps, pageSize int, seed int64) error {
+func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error {
 	out := os.Stdout
 	sep := func() { fmt.Fprintln(out, "\n================================================================") }
 	runOne := func(name string) error {
@@ -98,6 +99,17 @@ func run(exp string, tuples, reps, pageSize int, seed int64) error {
 				return err
 			}
 			return r.WriteText(out)
+		case "pipeline":
+			r, err := experiments.RunPipeline(experiments.PipelineConfig{
+				Tuples: tuples, PageSize: pageSize, Concurrency: parallel, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writePipelineJSON(r)
 		case "cpusweep":
 			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
@@ -114,7 +126,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64) error {
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline"} {
 		if i > 0 {
 			sep()
 		}
@@ -123,4 +135,19 @@ func run(exp string, tuples, reps, pageSize int, seed int64) error {
 		}
 	}
 	return nil
+}
+
+// writePipelineJSON records the serial-vs-parallel throughput comparison
+// as BENCH_pipeline.json in the working directory, for CI trend tracking.
+func writePipelineJSON(r *experiments.PipelineResult) error {
+	f, err := os.Create("BENCH_pipeline.json")
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }

@@ -1,19 +1,32 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // TestAllExperimentsSmallScale drives every experiment at reduced scale;
 // the experiment correctness itself is covered in internal/experiments.
+// The pipeline experiment writes BENCH_pipeline.json, so the test runs in
+// a scratch directory.
 func TestAllExperimentsSmallScale(t *testing.T) {
-	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates"} {
-		if err := run(exp, 2000, 1, 0, 7); err != nil {
+	t.Chdir(t.TempDir())
+	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline"} {
+		if err := run(exp, 2000, 1, 0, 7, 2); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
+	}
+	if _, err := os.Stat("BENCH_pipeline.json"); err != nil {
+		t.Fatalf("pipeline experiment did not write BENCH_pipeline.json: %v", err)
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("nope", 100, 1, 0, 7); err == nil {
+	if err := run("nope", 100, 1, 0, 7, 0); err != nil {
+		if err.Error() != `unknown experiment "nope"` {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	} else {
 		t.Fatal("unknown experiment succeeded")
 	}
 }

@@ -361,8 +361,7 @@ func stats(a args) error {
 	fmt.Printf("tuples: %d in %d blocks (%d index nodes, primary height %d)\n",
 		tb.Len(), tb.NumBlocks(), tb.IndexNodeCount(), tb.PrimaryHeight())
 	fmt.Printf("coded payload: %d bytes; raw rows would be %d bytes (%.1f%% reduction)\n",
-		st.StreamBytes, st.RawDataBytes,
-		100*(1-float64(st.StreamBytes)/float64(st.RawDataBytes)))
+		st.StreamBytes, st.RawDataBytes, st.StreamSavingsPercent())
 	return nil
 }
 

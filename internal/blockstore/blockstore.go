@@ -45,13 +45,20 @@ type BlockRef struct {
 }
 
 // Store is a clustered, coded block store. It is not safe for concurrent
-// mutation; the table layer serializes access.
+// mutation; the table layer serializes access. Concurrent readers are
+// safe between mutations (the scan pipeline and the decoded-block cache
+// rely on this).
 type Store struct {
 	schema *relation.Schema
 	codec  core.Codec
 	pool   *buffer.Pool
 	blocks []storage.PageID
 	pos    map[storage.PageID]int // page -> index in blocks
+
+	// Concurrency configuration (see Configure): conc > 1 enables the
+	// parallel codec pipeline, cache != nil the decoded-block LRU.
+	conc  int
+	cache *blockCache
 }
 
 // New creates an empty store over the pool.
@@ -120,6 +127,12 @@ func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 	if len(s.blocks) != 0 {
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
+	if s.parallel() {
+		if z, ok := core.NewSizer(s.codec, s.schema); ok {
+			return s.bulkLoadParallel(z, tuples)
+		}
+		// Non-additive codec (rep-only): fall through to the serial path.
+	}
 	var refs []BlockRef
 	remaining := tuples
 	for len(remaining) > 0 {
@@ -148,6 +161,12 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 	if len(s.blocks) != 0 {
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
+	var sizer *core.Sizer
+	if s.parallel() {
+		if z, ok := core.NewSizer(s.codec, s.schema); ok {
+			sizer = z
+		}
+	}
 	var refs []BlockRef
 	var window []relation.Tuple
 	var prev relation.Tuple
@@ -172,6 +191,20 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 		}
 		if len(window) == 0 {
 			return refs, nil
+		}
+		if sizer != nil {
+			newRefs, tail, grown, err := s.loadWindowParallel(sizer, window, dry)
+			if err != nil {
+				return nil, err
+			}
+			if grown {
+				// The lone block could still grow; widen and refill.
+				highWater *= 2
+				continue
+			}
+			refs = append(refs, newRefs...)
+			window = append(window[:0], tail...)
+			continue
 		}
 		u, err := core.MaxFit(s.codec, s.schema, window, s.capacity())
 		if err != nil {
@@ -216,6 +249,11 @@ func (s *Store) encodeInto(frame *buffer.Frame, tuples []relation.Tuple) error {
 	if err != nil {
 		return err
 	}
+	return s.fillFrame(frame, stream)
+}
+
+// fillFrame lays a pre-encoded block stream out on the frame's page.
+func (s *Store) fillFrame(frame *buffer.Frame, stream []byte) error {
 	if len(stream) > s.capacity() {
 		return fmt.Errorf("blockstore: coded stream %d bytes exceeds page capacity %d", len(stream), s.capacity())
 	}
@@ -229,10 +267,43 @@ func (s *Store) encodeInto(frame *buffer.Frame, tuples []relation.Tuple) error {
 	return nil
 }
 
-// ReadBlock decodes the tuples of the block stored on page id.
+// writeStream copies a pre-encoded block stream onto a freshly allocated
+// page; the pipeline committer uses it so page allocation order is decided
+// serially even though encoding was not.
+func (s *Store) writeStream(stream []byte) (storage.PageID, error) {
+	frame, err := s.pool.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	err = s.fillFrame(frame, stream)
+	id := frame.ID()
+	if uerr := s.pool.Unpin(frame); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		s.freePageBestEffort(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// ReadBlock decodes the tuples of the block stored on page id, consulting
+// the decoded-block cache when one is configured.
 func (s *Store) ReadBlock(id storage.PageID) ([]relation.Tuple, error) {
 	if _, ok := s.pos[id]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	return s.decodeBlockCached(id)
+}
+
+// decodeBlockCached serves a block from the decoded-block cache or decodes
+// it from its page (filling the cache). Callers always receive tuples they
+// own: cache hits are deep copies and misses are freshly decoded.
+func (s *Store) decodeBlockCached(id storage.PageID) ([]relation.Tuple, error) {
+	if c := s.cache; c != nil {
+		if tuples, ok := c.get(id); ok {
+			return tuples, nil
+		}
 	}
 	frame, err := s.pool.Get(id)
 	if err != nil {
@@ -244,7 +315,14 @@ func (s *Store) ReadBlock(id storage.PageID) ([]relation.Tuple, error) {
 	if int(l) > s.capacity() {
 		return nil, fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
 	}
-	return core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
+	tuples, err := core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
+	if err != nil {
+		return nil, err
+	}
+	if c := s.cache; c != nil {
+		c.put(id, tuples)
+	}
+	return tuples, nil
 }
 
 // MutationResult reports how an insert or delete changed the block layout,
@@ -354,7 +432,9 @@ func (s *Store) rewriteBlock(id storage.PageID, tuples []relation.Tuple) (Mutati
 	return s.splitBlock(id, tuples)
 }
 
-// writeFresh codes tuples onto a newly allocated page and returns it.
+// writeFresh codes tuples onto a newly allocated page and returns it. On
+// failure the page is released again, so an encode or unpin error never
+// strands an allocated page outside the block list.
 func (s *Store) writeFresh(tuples []relation.Tuple) (storage.PageID, error) {
 	frame, err := s.pool.Allocate()
 	if err != nil {
@@ -366,9 +446,26 @@ func (s *Store) writeFresh(tuples []relation.Tuple) (storage.PageID, error) {
 		err = uerr
 	}
 	if err != nil {
+		s.freePageBestEffort(id)
 		return 0, err
 	}
 	return id, nil
+}
+
+// freePageBestEffort returns an orphaned page (allocated but never linked
+// into the block list) to the pager on an error path.
+func (s *Store) freePageBestEffort(id storage.PageID) {
+	s.pool.Free(id) //avqlint:ignore droppederr best-effort rollback on a path already returning the primary error
+}
+
+// freeBlockPage frees a page that held a block, dropping any cached decode
+// first: pagers reuse freed ids, so a stale cache entry would resurrect
+// the old block's tuples under the recycled id.
+func (s *Store) freeBlockPage(id storage.PageID) error {
+	if s.cache != nil {
+		s.cache.invalidate(id)
+	}
+	return s.pool.Free(id)
 }
 
 // replacePage swaps newID into oldID's clustered position and frees oldID.
@@ -380,7 +477,7 @@ func (s *Store) replacePage(oldID, newID storage.PageID) error {
 	s.blocks[at] = newID
 	delete(s.pos, oldID)
 	s.pos[newID] = at
-	return s.pool.Free(oldID)
+	return s.freeBlockPage(oldID)
 }
 
 // splitBlock distributes tuples over as many fresh pages as needed,
@@ -428,6 +525,13 @@ func (s *Store) splitBlock(id storage.PageID, tuples []relation.Tuple) (Mutation
 	for i, run := range runs {
 		newID, err := s.writeFresh(run)
 		if err != nil {
+			// Roll back the halves already written: they are not yet in
+			// s.blocks, and leaving them allocated would strand their pages
+			// forever. The original block is untouched, so the store stays
+			// exactly as it was before the split.
+			for _, written := range newIDs[:i] {
+				s.freePageBestEffort(written)
+			}
 			return MutationResult{}, err
 		}
 		newIDs[i] = newID
@@ -444,7 +548,7 @@ func (s *Store) splitBlock(id storage.PageID, tuples []relation.Tuple) (Mutation
 		s.blocks[insertAt] = newIDs[i]
 	}
 	s.reindexFrom(at)
-	if err := s.pool.Free(id); err != nil {
+	if err := s.freeBlockPage(id); err != nil {
 		return MutationResult{}, err
 	}
 	return res, nil
@@ -459,7 +563,7 @@ func (s *Store) removeBlock(id storage.PageID) error {
 	s.blocks = append(s.blocks[:at], s.blocks[at+1:]...)
 	delete(s.pos, id)
 	s.reindexFrom(at)
-	return s.pool.Free(id)
+	return s.freeBlockPage(id)
 }
 
 // reindexFrom refreshes the page-to-position map from position at onward.
@@ -473,12 +577,15 @@ func (s *Store) reindexFrom(at int) {
 // a fresh BulkLoad. Compaction uses it to tear down the old layout.
 func (s *Store) Reset() error {
 	for _, id := range s.blocks {
-		if err := s.pool.Free(id); err != nil {
+		if err := s.freeBlockPage(id); err != nil {
 			return err
 		}
 	}
 	s.blocks = nil
 	s.pos = make(map[storage.PageID]int)
+	if s.cache != nil {
+		s.cache.clear()
+	}
 	return nil
 }
 
@@ -493,8 +600,13 @@ func (s *Store) NextBlock(id storage.PageID) (storage.PageID, bool) {
 }
 
 // ScanBlocks visits every block in clustered order, decoding each. fn
-// returning false stops the scan.
+// returning false stops the scan. With Concurrency > 1 blocks are
+// prefetched and decoded on a worker pool, but fn still observes them
+// strictly in clustered order, one at a time.
 func (s *Store) ScanBlocks(fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
+	if s.parallel() && len(s.blocks) > 1 {
+		return s.scanBlocksParallel(fn)
+	}
 	for _, id := range s.blocks {
 		tuples, err := s.ReadBlock(id)
 		if err != nil {
@@ -525,20 +637,25 @@ func (st Stats) CompressionRatio() float64 {
 	return 1 - float64(st.PageBytes)/float64(st.RawDataBytes)
 }
 
-// ComputeStats walks the store and returns its layout statistics.
+// StreamSavingsPercent returns the coded-stream size reduction as a
+// percentage of the uncoded size, 0 for an empty relation. Tools report
+// it; the guard keeps an empty store from printing NaN.
+func (st Stats) StreamSavingsPercent() float64 {
+	if st.RawDataBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(st.StreamBytes)/float64(st.RawDataBytes))
+}
+
+// ComputeStats walks the store and returns its layout statistics. With
+// Concurrency > 1 blocks are inspected on a worker pool.
 func (s *Store) ComputeStats() (Stats, error) {
+	if s.parallel() && len(s.blocks) > 1 {
+		return s.computeStatsParallel()
+	}
 	st := Stats{Blocks: len(s.blocks), PageBytes: len(s.blocks) * s.pool.PageSize()}
 	for _, id := range s.blocks {
-		frame, err := s.pool.Get(id)
-		if err != nil {
-			return Stats{}, err
-		}
-		data := frame.Data()
-		l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
-		info, err := core.Inspect(data[lenPrefix : lenPrefix+l])
-		if uerr := s.pool.Unpin(frame); err == nil {
-			err = uerr
-		}
+		info, err := s.inspectBlock(id)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -547,6 +664,29 @@ func (s *Store) ComputeStats() (Stats, error) {
 	}
 	st.RawDataBytes = st.Tuples * s.schema.RowSize()
 	return st, nil
+}
+
+// inspectBlock validates one block's stream header without decoding it.
+func (s *Store) inspectBlock(id storage.PageID) (core.BlockInfo, error) {
+	frame, err := s.pool.Get(id)
+	if err != nil {
+		return core.BlockInfo{}, err
+	}
+	data := frame.Data()
+	l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
+	var info core.BlockInfo
+	if l > s.capacity() {
+		err = fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
+	} else {
+		info, err = core.Inspect(data[lenPrefix : lenPrefix+l])
+	}
+	if uerr := s.pool.Unpin(frame); err == nil {
+		err = uerr
+	}
+	if err != nil {
+		return core.BlockInfo{}, err
+	}
+	return info, nil
 }
 
 // CheckInvariants verifies the clustered layout: the position map matches

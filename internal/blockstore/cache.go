@@ -1,0 +1,169 @@
+package blockstore
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// blockCache is an LRU cache of decoded blocks keyed by page id. Repeated
+// range selections over the same blocks skip the Golomb/difference decode
+// entirely and pay only a tuple copy.
+//
+// The cache owns its entries: lookups return deep copies, so a caller that
+// scribbles on a returned tuple cannot poison later reads (the serial
+// decode path hands out fresh tuples per call, and the cached path must be
+// observationally identical). It has its own lock because concurrent
+// readers (table.Sync queries, the parallel scan pipeline) share it while
+// the store itself is only locked for mutation.
+//
+// Invalidation is by page id and happens whenever the store frees a block
+// page (rewrite, split, remove, reset). Page ids are reused by the pagers'
+// free lists, so a stale entry is never merely wasteful — it would be
+// wrong; every pool.Free of a block page must be paired with an
+// invalidate.
+type blockCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[storage.PageID]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+
+	hits          int64
+	misses        int64
+	invalidations int64
+}
+
+type cacheEntry struct {
+	id         storage.PageID
+	tuples     []relation.Tuple
+	prev, next *cacheEntry
+}
+
+// newBlockCache creates a cache holding up to capacity decoded blocks.
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		cap:     capacity,
+		entries: make(map[storage.PageID]*cacheEntry, capacity),
+	}
+}
+
+// CacheStats is a snapshot of cache counters, for tests and benchmarks.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Entries       int
+}
+
+func (c *blockCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Entries:       len(c.entries),
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds c.mu.
+func (c *blockCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Caller holds c.mu.
+func (c *blockCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// cloneTuples deep-copies a decoded block.
+func cloneTuples(ts []relation.Tuple) []relation.Tuple {
+	out := make([]relation.Tuple, len(ts))
+	for i, tu := range ts {
+		out[i] = tu.Clone()
+	}
+	return out
+}
+
+// get returns a deep copy of the cached block, if present.
+func (c *blockCache) get(id storage.PageID) ([]relation.Tuple, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	tuples := e.tuples
+	c.mu.Unlock()
+	// Copy outside the lock: the entry's tuples slice is never mutated
+	// after insertion, only replaced wholesale by put.
+	return cloneTuples(tuples), true
+}
+
+// put stores a deep copy of the freshly decoded block, evicting the least
+// recently used entry when full.
+func (c *blockCache) put(id storage.PageID, tuples []relation.Tuple) {
+	copied := cloneTuples(tuples)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		e.tuples = copied
+		c.unlink(e)
+		c.pushFront(e)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.tail
+		if victim == nil {
+			return // cap <= 0: cache disabled
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.id)
+	}
+	e := &cacheEntry{id: id, tuples: copied}
+	c.entries[id] = e
+	c.pushFront(e)
+}
+
+// invalidate drops the entry for a page, if present.
+func (c *blockCache) invalidate(id storage.PageID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		c.unlink(e)
+		delete(c.entries, id)
+		c.invalidations++
+	}
+}
+
+// clear empties the cache.
+func (c *blockCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[storage.PageID]*cacheEntry, c.cap)
+	c.head, c.tail = nil, nil
+}

@@ -91,6 +91,10 @@ func New(pager storage.Pager, disk *simdisk.Disk, capacity int) (*Pool, error) {
 // PageSize returns the underlying pager's page size.
 func (p *Pool) PageSize() int { return p.pager.PageSize() }
 
+// Capacity returns the pool's frame capacity. Concurrent readers use it
+// to bound how many frames they pin at once.
+func (p *Pool) Capacity() int { return p.capacity }
+
 // Pager returns the underlying pager.
 func (p *Pool) Pager() storage.Pager { return p.pager }
 

@@ -90,16 +90,85 @@ func EncodedSize(c Codec, s *relation.Schema, tuples []relation.Tuple) (int, err
 	return size, nil
 }
 
+// Sizer computes block sizes incrementally for the codecs whose encoded
+// size is a prefix sum over adjacent-pair differences: the anchor tuple is
+// a fixed cost and each further tuple adds a cost that depends only on the
+// tuple and its predecessor, never on the block boundary. MaxFit's
+// additive branches and the block store's parallel chunker both run on a
+// Sizer, so the two always agree on block boundaries by construction.
+//
+// A Sizer holds scratch space and is not safe for concurrent use; each
+// goroutine must create its own.
+type Sizer struct {
+	c       Codec
+	s       *relation.Schema
+	m       int
+	diff    relation.Tuple
+	lzWidth uint  // CodecPacked: width of the leading-zero count field
+	suffix  []int // CodecPacked: per-attribute packed suffix bit sums
+}
+
+// NewSizer returns a Sizer for the codec, or ok=false when the codec's
+// size is not additive over adjacent pairs (CodecRepOnly, whose median
+// representative moves as the block grows, and invalid codecs).
+func NewSizer(c Codec, s *relation.Schema) (*Sizer, bool) {
+	switch c {
+	case CodecRaw, CodecAVQ, CodecDeltaChain:
+		return &Sizer{c: c, s: s, m: s.RowSize(), diff: make(relation.Tuple, s.NumAttrs())}, true
+	case CodecPacked:
+		_, suffix := packedBitWidths(s)
+		return &Sizer{
+			c: c, s: s, m: s.RowSize(),
+			diff:    make(relation.Tuple, s.NumAttrs()),
+			lzWidth: bitio.BitsFor(uint64(s.NumAttrs()) + 1),
+			suffix:  suffix,
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// PairCost returns the incremental cost of appending cur after prev inside
+// a block. The unit is bytes for the byte-granular codecs and bits for
+// CodecPacked; BlockSize interprets the accumulated value accordingly.
+func (z *Sizer) PairCost(prev, cur relation.Tuple) (int, error) {
+	if z.c == CodecRaw {
+		return 0, nil
+	}
+	if _, err := ordinal.Sub(z.s, z.diff, cur, prev); err != nil {
+		return 0, fmt.Errorf("core: pair cost: block not phi-sorted: %w", err)
+	}
+	if z.c == CodecPacked {
+		return packedDiffBits(z.diff, z.lzWidth, z.suffix), nil
+	}
+	return diffSize(z.s, z.diff), nil
+}
+
+// BlockSize returns the exact encoded size in bytes of a block of u >= 1
+// tuples whose accumulated PairCosts sum to acc. It matches EncodedSize.
+func (z *Sizer) BlockSize(u, acc int) int {
+	switch z.c {
+	case CodecRaw:
+		return headerSize(u) + u*z.m
+	case CodecAVQ:
+		return headerSize(u) + uvarintLen(uint64(u/2)) + z.m + acc
+	case CodecDeltaChain:
+		return headerSize(u) + z.m + acc
+	default: // CodecPacked
+		return headerSize(u) + uvarintLen(uint64(u/2)) + z.m + (acc+7)/8
+	}
+}
+
 // MaxFit returns the largest u such that the first u tuples encode into at
 // most capacity bytes (Section 3.4: "the number of tuples allocated to a
 // block before coding must be suitably fixed so as to minimize this
 // space"). It returns 0 when not even a single tuple fits.
 //
 // For the chained codecs the stream size is an exact prefix sum over
-// adjacent differences, so the search is a single O(u) accumulation. For
-// CodecRepOnly the representative moves as the block grows, so MaxFit
-// brackets geometrically and then binary-searches, verifying the final
-// candidate with an exact size computation.
+// adjacent differences, so the search is a single O(u) accumulation on a
+// Sizer. For CodecRepOnly the representative moves as the block grows, so
+// MaxFit brackets geometrically and then binary-searches, verifying the
+// final candidate with an exact size computation.
 func MaxFit(c Codec, s *relation.Schema, tuples []relation.Tuple, capacity int) (int, error) {
 	if !c.Valid() {
 		return 0, fmt.Errorf("%w: %d", ErrBadCodec, uint8(c))
@@ -108,66 +177,27 @@ func MaxFit(c Codec, s *relation.Schema, tuples []relation.Tuple, capacity int) 
 	if n == 0 {
 		return 0, nil
 	}
-	m := s.RowSize()
-	switch c {
-	case CodecRaw:
-		best := 0
-		for u := 1; u <= n; u++ {
-			if headerSize(u)+u*m <= capacity {
-				best = u
-			} else {
-				break
-			}
-		}
-		return best, nil
-	case CodecAVQ, CodecDeltaChain:
-		diff := make(relation.Tuple, s.NumAttrs())
-		payload := m // anchor tuple
-		best := 0
-		for u := 1; u <= n; u++ {
-			if u > 1 {
-				if _, err := ordinal.Sub(s, diff, tuples[u-1], tuples[u-2]); err != nil {
-					return 0, fmt.Errorf("core: maxfit at tuple %d: block not phi-sorted: %w", u-1, err)
-				}
-				payload += diffSize(s, diff)
-			}
-			size := headerSize(u) + payload
-			if c == CodecAVQ {
-				size += uvarintLen(uint64(u / 2))
-			}
-			if size <= capacity {
-				best = u
-			} else {
-				break
-			}
-		}
-		return best, nil
-	case CodecPacked:
-		diff := make(relation.Tuple, s.NumAttrs())
-		_, suffix := packedBitWidths(s)
-		lzWidth := bitio.BitsFor(uint64(s.NumAttrs()) + 1)
-		bits := 0
-		best := 0
-		for u := 1; u <= n; u++ {
-			if u > 1 {
-				if _, err := ordinal.Sub(s, diff, tuples[u-1], tuples[u-2]); err != nil {
-					return 0, fmt.Errorf("core: maxfit at tuple %d: block not phi-sorted: %w", u-1, err)
-				}
-				bits += packedDiffBits(diff, lzWidth, suffix)
-			}
-			size := headerSize(u) + uvarintLen(uint64(u/2)) + m + (bits+7)/8
-			if size <= capacity {
-				best = u
-			} else {
-				break
-			}
-		}
-		return best, nil
-	case CodecRepOnly:
+	z, ok := NewSizer(c, s)
+	if !ok {
 		return maxFitBracketed(c, s, tuples, capacity)
-	default:
-		return 0, fmt.Errorf("%w: %d", ErrBadCodec, uint8(c))
 	}
+	acc := 0
+	best := 0
+	for u := 1; u <= n; u++ {
+		if u > 1 {
+			cost, err := z.PairCost(tuples[u-2], tuples[u-1])
+			if err != nil {
+				return 0, fmt.Errorf("core: maxfit at tuple %d: %w", u-1, err)
+			}
+			acc += cost
+		}
+		if z.BlockSize(u, acc) <= capacity {
+			best = u
+		} else {
+			break
+		}
+	}
+	return best, nil
 }
 
 // maxFitBracketed finds the fit point for codecs whose size is not a strict

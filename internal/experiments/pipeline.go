@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// PipelineConfig parameterizes the parallel codec pipeline benchmark.
+type PipelineConfig struct {
+	// Tuples is the relation size; default 100_000 (the paper's 10^5
+	// evaluation scale).
+	Tuples int
+	// PageSize is the block size; default 8192.
+	PageSize int
+	// Concurrency is the worker count for the parallel runs; default
+	// GOMAXPROCS.
+	Concurrency int
+	// CacheBlocks sizes the decoded-block cache for the parallel scan
+	// pass; default 256.
+	CacheBlocks int
+	// Seed makes the relation deterministic.
+	Seed int64
+}
+
+func (c *PipelineConfig) fillDefaults() {
+	if c.Tuples == 0 {
+		c.Tuples = 100_000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = storage.DefaultPageSize
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = 256
+	}
+}
+
+// PipelineRow is one measured configuration of the pipeline benchmark.
+type PipelineRow struct {
+	Mode        string  `json:"mode"` // "serial" or "parallel"
+	Concurrency int     `json:"concurrency"`
+	LoadMillis  float64 `json:"load_ms"`
+	LoadMBps    float64 `json:"load_mb_per_s"`
+	ScanMillis  float64 `json:"scan_ms"`
+	ScanMBps    float64 `json:"scan_mb_per_s"`
+}
+
+// PipelineResult compares the serial reference codec path against the
+// worker-pool pipeline on the same relation.
+type PipelineResult struct {
+	Tuples      int     `json:"tuples"`
+	Attrs       int     `json:"attrs"`
+	RawMB       float64 `json:"raw_mb"`
+	Blocks      int     `json:"blocks"`
+	Concurrency int     `json:"concurrency"`
+
+	Rows []PipelineRow `json:"rows"`
+
+	LoadSpeedup float64 `json:"load_speedup"`
+	ScanSpeedup float64 `json:"scan_speedup"`
+
+	// Identical reports that the parallel load produced byte-identical
+	// page images to the serial load — the pipeline's core invariant.
+	Identical bool `json:"byte_identical"`
+
+	// Cache holds the decoded-block cache counters after the parallel
+	// scan passes.
+	Cache blockstore.CacheStats `json:"cache"`
+}
+
+// pipelineRelation builds the benchmark relation: the Figure 5.7 family
+// (15 attributes), sorted into phi order ready for bulk loading.
+func pipelineRelation(cfg PipelineConfig) (*relation.Schema, []relation.Tuple, error) {
+	spec := gen.Fig57Spec(cfg.Tuples, true, gen.VarianceLarge, cfg.Seed)
+	schema, tuples, err := spec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	schema.SortTuples(tuples)
+	return schema, tuples, nil
+}
+
+// runPipelineOnce loads and scans the relation once at the given
+// configuration, returning the store's page images for the identity check.
+func runPipelineOnce(schema *relation.Schema, tuples []relation.Tuple, pageSize int, cfg blockstore.Config) (PipelineRow, [][]byte, blockstore.CacheStats, error) {
+	var row PipelineRow
+	pager, err := storage.NewMemPager(pageSize)
+	if err != nil {
+		return row, nil, blockstore.CacheStats{}, err
+	}
+	pool, err := buffer.New(pager, nil, 256)
+	if err != nil {
+		return row, nil, blockstore.CacheStats{}, err
+	}
+	store, err := blockstore.New(schema, core.CodecAVQ, pool)
+	if err != nil {
+		return row, nil, blockstore.CacheStats{}, err
+	}
+	store.Configure(cfg)
+	rawMB := float64(len(tuples)*schema.RowSize()) / (1 << 20)
+
+	start := time.Now()
+	if _, err := store.BulkLoad(tuples); err != nil {
+		return row, nil, blockstore.CacheStats{}, err
+	}
+	load := time.Since(start)
+
+	// Two scan passes: the second exercises the decoded-block cache when
+	// it is enabled. MB/s is per pass.
+	start = time.Now()
+	for pass := 0; pass < 2; pass++ {
+		if err := store.ScanBlocks(func(storage.PageID, []relation.Tuple) bool { return true }); err != nil {
+			return row, nil, blockstore.CacheStats{}, err
+		}
+	}
+	scan := time.Since(start) / 2
+
+	if err := pool.Flush(); err != nil {
+		return row, nil, blockstore.CacheStats{}, err
+	}
+	images := make([][]byte, 0, len(store.Blocks()))
+	for _, id := range store.Blocks() {
+		buf := make([]byte, pageSize)
+		if err := pager.Read(id, buf); err != nil {
+			return row, nil, blockstore.CacheStats{}, err
+		}
+		images = append(images, buf)
+	}
+
+	mode := "serial"
+	conc := 1
+	if cfg.Concurrency > 1 {
+		mode = "parallel"
+		conc = cfg.Concurrency
+	}
+	row = PipelineRow{
+		Mode:        mode,
+		Concurrency: conc,
+		LoadMillis:  float64(load.Microseconds()) / 1e3,
+		LoadMBps:    rawMB / load.Seconds(),
+		ScanMillis:  float64(scan.Microseconds()) / 1e3,
+		ScanMBps:    rawMB / scan.Seconds(),
+	}
+	return row, images, store.CacheStats(), nil
+}
+
+// RunPipeline benchmarks bulk load and full scans through the serial
+// reference path and the worker-pool pipeline, and verifies the two
+// produce byte-identical block layouts.
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	cfg.fillDefaults()
+	schema, tuples, err := pipelineRelation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &PipelineResult{
+		Tuples:      len(tuples),
+		Attrs:       schema.NumAttrs(),
+		RawMB:       float64(len(tuples)*schema.RowSize()) / (1 << 20),
+		Concurrency: cfg.Concurrency,
+	}
+	serial, serialImages, _, err := runPipelineOnce(schema, tuples, cfg.PageSize, blockstore.Config{})
+	if err != nil {
+		return nil, err
+	}
+	par, parImages, cache, err := runPipelineOnce(schema, tuples, cfg.PageSize, blockstore.Config{
+		Concurrency: cfg.Concurrency,
+		CacheBlocks: cfg.CacheBlocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = []PipelineRow{serial, par}
+	res.Blocks = len(serialImages)
+	res.LoadSpeedup = par.LoadMBps / serial.LoadMBps
+	res.ScanSpeedup = par.ScanMBps / serial.ScanMBps
+	res.Cache = cache
+	res.Identical = len(serialImages) == len(parImages)
+	if res.Identical {
+		for i := range serialImages {
+			if !bytes.Equal(serialImages[i], parImages[i]) {
+				res.Identical = false
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the benchmark like the report tables.
+func (r *PipelineResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "Parallel codec pipeline: %d tuples x %d attrs (%.1f MB raw), %d AVQ blocks\n",
+		r.Tuples, r.Attrs, r.RawMB, r.Blocks)
+	t := &textTable{header: []string{"mode", "workers", "load ms", "load MB/s", "scan ms", "scan MB/s"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Mode,
+			fmt.Sprintf("%d", row.Concurrency),
+			fmt.Sprintf("%.1f", row.LoadMillis),
+			fmt.Sprintf("%.1f", row.LoadMBps),
+			fmt.Sprintf("%.1f", row.ScanMillis),
+			fmt.Sprintf("%.1f", row.ScanMBps))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nload speedup %.2fx, scan speedup %.2fx, byte-identical layout: %v\n",
+		r.LoadSpeedup, r.ScanSpeedup, r.Identical)
+	fmt.Fprintf(w, "decoded-block cache: %d hits, %d misses, %d invalidations, %d resident\n",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Invalidations, r.Cache.Entries)
+	return nil
+}
+
+// WriteJSON emits the machine-readable benchmark record.
+func (r *PipelineResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

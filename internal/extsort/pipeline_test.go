@@ -1,0 +1,252 @@
+package extsort
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// countTmpFiles returns how many entries remain in the sorter's temp dir.
+func countTmpFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+// collectConc runs the full add/iterate cycle at the given concurrency and
+// returns the emitted order.
+func collectConc(t *testing.T, tuples []relation.Tuple, memTuples, conc int) []relation.Tuple {
+	t.Helper()
+	dir := t.TempDir()
+	sorter, err := New(testSchema(t), dir, memTuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Configure(conc); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := sorter.Add(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []relation.Tuple
+	if err := sorter.Iterate(func(tu relation.Tuple) bool {
+		got = append(got, tu.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTmpFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files remain after iterate", n)
+	}
+	return got
+}
+
+// TestConcurrentMatchesSerial is the differential test: the pipelined
+// sorter must emit exactly the serial sequence, duplicates included.
+func TestConcurrentMatchesSerial(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(5000, 77)
+	want := sortAndCollect(t, tuples, 256)
+	for _, conc := range []int{2, 4, 8} {
+		got := collectConc(t, tuples, 256, conc)
+		if len(got) != len(want) {
+			t.Fatalf("conc=%d: emitted %d tuples, serial emitted %d", conc, len(got), len(want))
+		}
+		for i := range want {
+			if s.Compare(got[i], want[i]) != 0 {
+				t.Fatalf("conc=%d: tuple %d = %v, serial emitted %v", conc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConfigureAfterAdd rejects enabling the pipeline mid-stream.
+func TestConfigureAfterAdd(t *testing.T) {
+	sorter, err := New(testSchema(t), t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Add(relation.Tuple{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Configure(4); err == nil {
+		t.Fatal("Configure after Add succeeded")
+	}
+}
+
+// failingRunFile fails every write, simulating a full disk mid-spill.
+type failingRunFile struct{ f runFile }
+
+var errDiskFull = errors.New("injected: disk full")
+
+func (w *failingRunFile) Write([]byte) (int, error) { return 0, errDiskFull }
+func (w *failingRunFile) Close() error              { return w.f.Close() }
+
+// withFailingRuns makes run writes fail starting at the n-th created run
+// file (0-based) for the duration of the test.
+func withFailingRuns(t *testing.T, n int) {
+	t.Helper()
+	orig := createRunFile
+	created := 0
+	var mu sync.Mutex
+	createRunFile = func(path string) (runFile, error) {
+		f, err := orig(path)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		idx := created
+		created++
+		mu.Unlock()
+		if idx >= n {
+			return &failingRunFile{f: f}, nil
+		}
+		return f, nil
+	}
+	t.Cleanup(func() { createRunFile = orig })
+}
+
+// TestSpillFailureLeaksNoFiles injects a write failure into the second
+// spill and verifies (a) Add surfaces the error and (b) after Close no
+// temp file remains — neither the successful first run nor the partial
+// second one. This is the regression test for the temp-file leak: before
+// the fix, the partial run file survived on disk after the error.
+func TestSpillFailureLeaksNoFiles(t *testing.T) {
+	withFailingRuns(t, 1)
+	dir := t.TempDir()
+	sorter, err := New(testSchema(t), dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := randomTuples(200, 9)
+	var addErr error
+	for _, tu := range tuples {
+		if addErr = sorter.Add(tu); addErr != nil {
+			break
+		}
+	}
+	if !errors.Is(addErr, errDiskFull) {
+		t.Fatalf("Add error = %v, want injected disk-full", addErr)
+	}
+	if n := countTmpFiles(t, dir); n != 1 {
+		t.Fatalf("%d temp files after failed spill, want 1 (only the intact first run)", n)
+	}
+	if err := sorter.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countTmpFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files remain after Close", n)
+	}
+}
+
+// TestSpillFailureConcurrent drives the same injected failure through the
+// background spill worker: the deferred error must surface at Iterate, and
+// Close must leave the temp dir empty.
+func TestSpillFailureConcurrent(t *testing.T) {
+	withFailingRuns(t, 1)
+	dir := t.TempDir()
+	sorter, err := New(testSchema(t), dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sorter.Configure(4); err != nil {
+		t.Fatal(err)
+	}
+	var addErr error
+	for _, tu := range randomTuples(500, 10) {
+		if addErr = sorter.Add(tu); addErr != nil {
+			break
+		}
+	}
+	iterErr := sorter.Iterate(func(relation.Tuple) bool { return true })
+	if !errors.Is(addErr, errDiskFull) && !errors.Is(iterErr, errDiskFull) {
+		t.Fatalf("injected failure never surfaced: add=%v iterate=%v", addErr, iterErr)
+	}
+	if n := countTmpFiles(t, dir); n != 0 {
+		t.Fatalf("%d temp files remain after failed concurrent sort", n)
+	}
+}
+
+// TestIterateErrorRemovesRuns truncates a spilled run and verifies the
+// merge error still tears the sorter down: before the fix, Iterate's error
+// returns skipped Close and leaked every run file.
+func TestIterateErrorRemovesRuns(t *testing.T) {
+	for _, conc := range []int{1, 4} {
+		t.Run(fmt.Sprintf("conc=%d", conc), func(t *testing.T) {
+			dir := t.TempDir()
+			sorter, err := New(testSchema(t), dir, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sorter.Configure(conc); err != nil {
+				t.Fatal(err)
+			}
+			for _, tu := range randomTuples(300, 12) {
+				if err := sorter.Add(tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Flush in-flight spills, then corrupt the first run.
+			sorter.stopSpillWorker()
+			if sorter.Runs() < 2 {
+				t.Fatalf("want >= 2 runs, got %d", sorter.Runs())
+			}
+			path := sorter.runPath(0)
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()-1); err != nil {
+				t.Fatal(err)
+			}
+			err = sorter.Iterate(func(relation.Tuple) bool { return true })
+			if err == nil {
+				t.Fatal("iterate of truncated run succeeded")
+			}
+			if n := countTmpFiles(t, dir); n != 0 {
+				t.Fatalf("%d temp files remain after iterate error", n)
+			}
+		})
+	}
+}
+
+// TestEarlyStopRemovesRuns verifies an early visitor stop also cleans up.
+func TestEarlyStopRemovesRuns(t *testing.T) {
+	for _, conc := range []int{1, 4} {
+		dir := t.TempDir()
+		sorter, err := New(testSchema(t), dir, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sorter.Configure(conc); err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range randomTuples(400, 15) {
+			if err := sorter.Add(tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen := 0
+		if err := sorter.Iterate(func(relation.Tuple) bool {
+			seen++
+			return seen < 10
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seen != 10 {
+			t.Fatalf("conc=%d: early stop visited %d tuples, want 10", conc, seen)
+		}
+		if n := countTmpFiles(t, dir); n != 0 {
+			t.Fatalf("conc=%d: %d temp files remain after early stop", conc, n)
+		}
+	}
+}

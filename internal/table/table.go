@@ -73,6 +73,14 @@ type Options struct {
 	// empty; use Open for an existing table. Persistent tables must be
 	// Closed (or Checkpointed) to make mutations durable.
 	Path string
+	// Concurrency is the block-codec worker count for bulk loads, scans,
+	// and stats (see blockstore.Config). Values <= 1 keep the serial
+	// reference path; runtime.NumCPU() is a good parallel setting.
+	Concurrency int
+	// CacheBlocks enables the decoded-block LRU cache with the given
+	// capacity in blocks; 0 disables it. Repeated range selections over
+	// cached blocks skip the difference decode entirely.
+	CacheBlocks int
 }
 
 // AllAttrs returns 0..n-1, for indexing every attribute of a schema.
@@ -232,6 +240,10 @@ func newTableShell(schema *relation.Schema, opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.Configure(blockstore.Config{
+		Concurrency: opts.Concurrency,
+		CacheBlocks: opts.CacheBlocks,
+	})
 	primary, err := btree.New[storage.PageID](opts.IndexOrder)
 	if err != nil {
 		return nil, err
@@ -317,6 +329,10 @@ func (t *Table) PrimaryHeight() int { return t.primary.Height() }
 
 // StoreStats returns the block store's physical layout statistics.
 func (t *Table) StoreStats() (blockstore.Stats, error) { return t.store.ComputeStats() }
+
+// BlockCacheStats returns the decoded-block cache counters (zero when the
+// cache is disabled).
+func (t *Table) BlockCacheStats() blockstore.CacheStats { return t.store.CacheStats() }
 
 // BulkLoad replaces the table's contents with tuples (any order; the table
 // re-orders them per Section 3.2). The input slice is not retained.

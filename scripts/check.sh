@@ -30,6 +30,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/buffer ./internal/table ./internal/simdisk
+go test -race ./internal/buffer ./internal/table ./internal/simdisk \
+    ./internal/blockstore ./internal/extsort
 
 echo "check.sh: all gates passed"
