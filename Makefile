@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint build fmt
+.PHONY: check test race lint build fmt bench-pruning
 
 check:
 	sh scripts/check.sh
@@ -15,7 +15,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk
+	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
+		./internal/blockstore ./internal/extsort ./internal/exec
+
+bench-pruning:
+	$(GO) run ./cmd/avqbench -exp pruning
 
 lint:
 	$(GO) vet ./...

@@ -298,9 +298,16 @@ func query(a args) error {
 	if stats.Matches > printed {
 		fmt.Printf("... and %d more\n", stats.Matches-printed)
 	}
-	fmt.Printf("%d rows via %s path, %d of %d blocks read\n",
-		stats.Matches, stats.Strategy, stats.BlocksRead, tb.NumBlocks())
+	fmt.Printf("%d rows via %s\n", stats.Matches, pathLine(stats, tb.NumBlocks()))
 	return nil
+}
+
+// pathLine renders a query's access-path counters: the I/O split between
+// disk reads and cache hits, the blocks the φ-fences pruned, and how many
+// reads decoded only a span of the block.
+func pathLine(qs table.QueryStats, total int) string {
+	return fmt.Sprintf("%s path: %d of %d blocks read (%d from cache), %d pruned by fence, %d partial decodes",
+		qs.Strategy, qs.BlocksRead, total, qs.CacheHits, qs.BlocksPruned, qs.PartialDecodes)
 }
 
 func count(a args) error {
@@ -313,7 +320,7 @@ func count(a args) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d rows via %s path, %d blocks read\n", n, stats.Strategy, stats.BlocksRead)
+	fmt.Printf("%d rows via %s\n", n, pathLine(stats, tb.NumBlocks()))
 	return nil
 }
 
@@ -327,8 +334,8 @@ func agg(a args) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("count=%d sum=%d min=%d max=%d (attr %d over %d<=A%d<=%d; %s path, %d blocks)\n",
-		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, qs.Strategy, qs.BlocksRead)
+	fmt.Printf("count=%d sum=%d min=%d max=%d (attr %d over %d<=A%d<=%d; %s)\n",
+		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, pathLine(qs, tb.NumBlocks()))
 	return nil
 }
 
@@ -362,6 +369,9 @@ func stats(a args) error {
 		tb.Len(), tb.NumBlocks(), tb.IndexNodeCount(), tb.PrimaryHeight())
 	fmt.Printf("coded payload: %d bytes; raw rows would be %d bytes (%.1f%% reduction)\n",
 		st.StreamBytes, st.RawDataBytes, st.StreamSavingsPercent())
+	cs := tb.BlockCacheStats()
+	fmt.Printf("block cache: %d hits, %d misses, %d invalidations, %d entries\n",
+		cs.Hits, cs.Misses, cs.Invalidations, cs.Entries)
 	return nil
 }
 

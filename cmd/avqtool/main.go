@@ -153,10 +153,11 @@ func inspect(in string) error {
 	// Try compressed first, then plain.
 	if info, err := relfile.InspectCompressed(f); err == nil {
 		printSchema(info.Schema)
-		fmt.Printf("format: compressed (%s codec), %d blocks of %d bytes, %d tuples\n",
-			info.Codec, info.Blocks, info.BlockSize, info.Tuples)
+		fmt.Printf("format: compressed v%d (%s codec), %d blocks of %d bytes, %d tuples\n",
+			info.Version, info.Codec, info.Blocks, info.BlockSize, info.Tuples)
 		fmt.Printf("coded payload: %d bytes; block-granular footprint: %d bytes\n",
 			info.StreamBytes, info.BlockBytes)
+		printBlockLayout(info)
 		return nil
 	}
 	if _, err := f.Seek(0, 0); err != nil {
@@ -169,6 +170,30 @@ func inspect(in string) error {
 	printSchema(schema)
 	fmt.Printf("format: plain, %d tuples, %d bytes per row\n", len(tuples), schema.RowSize())
 	return nil
+}
+
+// printBlockLayout lists each block's φ-fence (version-2 files) and the
+// ordinal of its representative/anchor tuple, eliding the middle of large
+// layouts.
+func printBlockLayout(info relfile.CompressedInfo) {
+	if len(info.Anchors) == 0 {
+		return
+	}
+	const headTail = 4
+	for b := 0; b < info.Blocks; b++ {
+		if info.Blocks > 2*headTail && b == headTail {
+			fmt.Printf("  ... %d more blocks ...\n", info.Blocks-2*headTail)
+			b = info.Blocks - headTail - 1
+			continue
+		}
+		if len(info.Fences) > b {
+			f := info.Fences[b]
+			fmt.Printf("  block %-4d %4d tuples  fence %v .. %v  anchor @%d\n",
+				b, f.Count, []uint64(f.First), []uint64(f.Last), info.Anchors[b])
+		} else {
+			fmt.Printf("  block %-4d anchor @%d (no fence: v1 file)\n", b, info.Anchors[b])
+		}
+	}
 }
 
 func printSchema(s *relation.Schema) {

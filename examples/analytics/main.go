@@ -62,16 +62,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: %d rows via %s path, %d blocks read\n\n",
-		len(matched), stats.Strategy, stats.BlocksRead)
+	fmt.Printf("executed: %d rows via %s path, %d blocks read (%d cache hits), %d fence-pruned, %d partial decodes\n\n",
+		len(matched), stats.Strategy, stats.BlocksRead, stats.CacheHits, stats.BlocksPruned, stats.PartialDecodes)
 
 	// Streaming aggregates: revenue-style rollup without materializing.
 	agg, aggStats, err := tbl.AggregateRange(2, 0, 2, 3) // units over channels 0-2
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("channels 0-2: count=%d sum(units)=%d min=%d max=%d (%d blocks)\n\n",
-		agg.Count, agg.Sum, agg.Min, agg.Max, aggStats.BlocksRead)
+	fmt.Printf("channels 0-2: count=%d sum(units)=%d min=%d max=%d (%d blocks read, %d pruned)\n\n",
+		agg.Count, agg.Sum, agg.Min, agg.Max, aggStats.BlocksRead, aggStats.BlocksPruned)
+
+	// A clustered range shows the executor's φ-fence pruning at its best:
+	// only the blocks whose fences intersect [2,4] are ever touched, and
+	// the two boundary blocks are span-decoded rather than fully decoded.
+	sel, selStats, err := tbl.SelectRange(0, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("regions 2-4: %d rows; executor pruned %d of %d blocks by fence, %d full / %d partial decodes\n\n",
+		len(sel), selStats.BlocksPruned, tbl.NumBlocks(),
+		selStats.BlocksRead+selStats.CacheHits-selStats.PartialDecodes, selStats.PartialDecodes)
 
 	// Bulk maintenance: a day's new facts arrive as one batch.
 	batch := make([]relation.Tuple, 5000)

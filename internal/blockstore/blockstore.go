@@ -14,12 +14,20 @@
 // Insertion and deletion decode, modify, and re-encode only the affected
 // block (Figure 4.6); a block whose re-coded stream no longer fits its page
 // is split, and an emptied block's page is freed.
+//
+// The layout metadata lives in an immutable manifest (see snapshot.go):
+// mutations clone it, edit the clone, and publish it atomically, freeing
+// replaced pages only after publication — and only once no Snapshot still
+// pins them. Readers holding a Snapshot therefore stream a consistent
+// pre-mutation view while writers proceed.
 package blockstore
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -45,15 +53,24 @@ type BlockRef struct {
 }
 
 // Store is a clustered, coded block store. It is not safe for concurrent
-// mutation; the table layer serializes access. Concurrent readers are
-// safe between mutations (the scan pipeline and the decoded-block cache
-// rely on this).
+// mutation; the table layer serializes mutations. Readers are safe
+// concurrently with a mutation when they hold a Snapshot (or go through
+// ScanBlocks/ComputeStats, which take one internally); bare ReadBlock
+// calls remain safe only between mutations, as before.
 type Store struct {
 	schema *relation.Schema
 	codec  core.Codec
 	pool   *buffer.Pool
-	blocks []storage.PageID
-	pos    map[storage.PageID]int // page -> index in blocks
+
+	// man is the current published manifest: block list, position map, and
+	// φ-fences. Mutators clone-edit-publish; readers Load.
+	man atomic.Pointer[manifest]
+
+	// Snapshot accounting: while snapRefs > 0, pages freed by mutations
+	// are parked in deferred instead of returned to the pager.
+	snapMu   sync.Mutex
+	snapRefs int
+	deferred []storage.PageID
 
 	// Concurrency configuration (see Configure): conc > 1 enables the
 	// parallel codec pipeline, cache != nil the decoded-block LRU.
@@ -69,12 +86,13 @@ func New(schema *relation.Schema, codec core.Codec, pool *buffer.Pool) (*Store, 
 	if schema.RowSize()+lenPrefix > pool.PageSize() {
 		return nil, ErrTupleTooLarge
 	}
-	return &Store{
+	s := &Store{
 		schema: schema,
 		codec:  codec,
 		pool:   pool,
-		pos:    make(map[storage.PageID]int),
-	}, nil
+	}
+	s.man.Store(newManifest())
+	return s, nil
 }
 
 // Schema returns the store's schema.
@@ -84,12 +102,13 @@ func (s *Store) Schema() *relation.Schema { return s.schema }
 func (s *Store) Codec() core.Codec { return s.codec }
 
 // NumBlocks returns the number of data blocks.
-func (s *Store) NumBlocks() int { return len(s.blocks) }
+func (s *Store) NumBlocks() int { return len(s.man.Load().blocks) }
 
 // Blocks returns the pages of the store's blocks in clustered order.
 func (s *Store) Blocks() []storage.PageID {
-	out := make([]storage.PageID, len(s.blocks))
-	copy(out, s.blocks)
+	m := s.man.Load()
+	out := make([]storage.PageID, len(m.blocks))
+	copy(out, m.blocks)
 	return out
 }
 
@@ -99,37 +118,45 @@ func (s *Store) capacity() int { return s.pool.PageSize() - lenPrefix }
 // Restore adopts an existing block layout whose pages are already
 // populated in the pool's pager, without rewriting anything. Opening a
 // persistent table uses it to rebuild the store from the catalog's block
-// list. The store must be empty and the page ids distinct.
+// list. The store must be empty and the page ids distinct. The restored
+// blocks carry unknown fences until AdoptFences installs them (the table
+// layer does so from its index-rebuild scan), so scans read rather than
+// prune restored blocks in the interim.
 func (s *Store) Restore(blocks []storage.PageID) error {
-	if len(s.blocks) != 0 {
+	if s.NumBlocks() != 0 {
 		return errors.New("blockstore: restore into non-empty store")
 	}
-	s.blocks = append([]storage.PageID(nil), blocks...)
-	for i, id := range s.blocks {
-		if _, dup := s.pos[id]; dup {
-			s.blocks = nil
-			s.pos = make(map[storage.PageID]int)
+	m := newManifest()
+	for _, id := range blocks {
+		if _, dup := m.pos[id]; dup {
 			return fmt.Errorf("blockstore: duplicate page %d in restored layout", id)
 		}
-		s.pos[id] = i
+		m.append(id, Fence{})
 	}
+	s.man.Store(m)
 	return nil
 }
 
 // BulkLoad replaces the store's contents with the given tuples, which must
 // already be sorted in phi order (use Schema.SortTuples). Blocks are packed
 // greedily to the page capacity, the paper's "minimize unused space" rule.
-// It returns a BlockRef per block, in clustered order.
+// It returns a BlockRef per block, in clustered order. The new layout is
+// published once at the end, so concurrent snapshot readers see either the
+// empty store or the complete load.
 func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 	if !s.schema.TuplesSorted(tuples) {
 		return nil, errors.New("blockstore: bulk load input not in phi order")
 	}
-	if len(s.blocks) != 0 {
+	if s.NumBlocks() != 0 {
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
+	m := newManifest()
+	// Publish even on error so pages written before the failure stay
+	// tracked by the store (Reset can then free them) instead of leaking.
+	defer func() { s.man.Store(m) }()
 	if s.parallel() {
 		if z, ok := core.NewSizer(s.codec, s.schema); ok {
-			return s.bulkLoadParallel(z, tuples)
+			return s.bulkLoadParallel(m, z, tuples)
 		}
 		// Non-additive codec (rep-only): fall through to the serial path.
 	}
@@ -143,7 +170,7 @@ func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 		if u == 0 {
 			return nil, ErrTupleTooLarge
 		}
-		ref, err := s.appendBlock(remaining[:u])
+		ref, err := s.appendBlock(m, remaining[:u])
 		if err != nil {
 			return nil, err
 		}
@@ -158,9 +185,11 @@ func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 // packs blocks incrementally, holding only a small buffering window in
 // memory. Used with the external sorter it loads relations of any size.
 func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]BlockRef, error) {
-	if len(s.blocks) != 0 {
+	if s.NumBlocks() != 0 {
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
+	m := newManifest()
+	defer func() { s.man.Store(m) }()
 	var sizer *core.Sizer
 	if s.parallel() {
 		if z, ok := core.NewSizer(s.codec, s.schema); ok {
@@ -193,7 +222,7 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 			return refs, nil
 		}
 		if sizer != nil {
-			newRefs, tail, grown, err := s.loadWindowParallel(sizer, window, dry)
+			newRefs, tail, grown, err := s.loadWindowParallel(m, sizer, window, dry)
 			if err != nil {
 				return nil, err
 			}
@@ -218,7 +247,7 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 			highWater *= 2
 			continue
 		}
-		ref, err := s.appendBlock(window[:u])
+		ref, err := s.appendBlock(m, window[:u])
 		if err != nil {
 			return nil, err
 		}
@@ -227,8 +256,8 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 	}
 }
 
-// appendBlock writes a new block at the end of the clustered order.
-func (s *Store) appendBlock(tuples []relation.Tuple) (BlockRef, error) {
+// appendBlock writes a new block at the end of m's clustered order.
+func (s *Store) appendBlock(m *manifest, tuples []relation.Tuple) (BlockRef, error) {
 	frame, err := s.pool.Allocate()
 	if err != nil {
 		return BlockRef{}, err
@@ -238,9 +267,9 @@ func (s *Store) appendBlock(tuples []relation.Tuple) (BlockRef, error) {
 		return BlockRef{}, err
 	}
 	id := frame.ID()
-	s.pos[id] = len(s.blocks)
-	s.blocks = append(s.blocks, id)
-	return BlockRef{Page: id, First: tuples[0].Clone(), Count: len(tuples)}, nil
+	f := fenceFor(tuples)
+	m.append(id, f)
+	return BlockRef{Page: id, First: f.First, Count: len(tuples)}, nil
 }
 
 // encodeInto codes tuples into the frame's page.
@@ -290,39 +319,47 @@ func (s *Store) writeStream(stream []byte) (storage.PageID, error) {
 // ReadBlock decodes the tuples of the block stored on page id, consulting
 // the decoded-block cache when one is configured.
 func (s *Store) ReadBlock(id storage.PageID) ([]relation.Tuple, error) {
-	if _, ok := s.pos[id]; !ok {
+	if _, ok := s.man.Load().pos[id]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	return s.decodeBlockCached(id)
 }
 
 // decodeBlockCached serves a block from the decoded-block cache or decodes
-// it from its page (filling the cache). Callers always receive tuples they
-// own: cache hits are deep copies and misses are freshly decoded.
+// it from its page (filling the cache).
 func (s *Store) decodeBlockCached(id storage.PageID) ([]relation.Tuple, error) {
+	tuples, _, err := s.decodeBlockCachedHit(id)
+	return tuples, err
+}
+
+// decodeBlockCachedHit is decodeBlockCached, also reporting whether the
+// cache served the block without a page read. Callers always receive
+// tuples they own: cache hits are deep copies and misses are freshly
+// decoded.
+func (s *Store) decodeBlockCachedHit(id storage.PageID) ([]relation.Tuple, bool, error) {
 	if c := s.cache; c != nil {
 		if tuples, ok := c.get(id); ok {
-			return tuples, nil
+			return tuples, true, nil
 		}
 	}
 	frame, err := s.pool.Get(id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer s.pool.Unpin(frame)
 	data := frame.Data()
 	l := binary.BigEndian.Uint32(data[:lenPrefix])
 	if int(l) > s.capacity() {
-		return nil, fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
+		return nil, false, fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
 	}
 	tuples, err := core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if c := s.cache; c != nil {
 		c.put(id, tuples)
 	}
-	return tuples, nil
+	return tuples, false, nil
 }
 
 // MutationResult reports how an insert or delete changed the block layout,
@@ -359,7 +396,7 @@ func (s *Store) InsertIntoBlock(id storage.PageID, t relation.Tuple) (MutationRe
 	tuples = append(tuples, nil)
 	copy(tuples[lo+1:], tuples[lo:])
 	tuples[lo] = t.Clone()
-	return s.rewriteBlock(id, tuples)
+	return s.rewritePublish(id, tuples)
 }
 
 // DeleteFromBlock removes one occurrence of t from the block on page id.
@@ -381,12 +418,22 @@ func (s *Store) DeleteFromBlock(id storage.PageID, t relation.Tuple) (MutationRe
 	}
 	tuples = append(tuples[:idx], tuples[idx+1:]...)
 	if len(tuples) == 0 {
-		if err := s.removeBlock(id); err != nil {
+		m := s.man.Load().clone()
+		at, ok := m.pos[id]
+		if !ok {
+			return MutationResult{}, false, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+		}
+		m.blocks = append(m.blocks[:at], m.blocks[at+1:]...)
+		m.fences = append(m.fences[:at], m.fences[at+1:]...)
+		delete(m.pos, id)
+		m.reindexFrom(at)
+		s.man.Store(m)
+		if err := s.freeBlockPage(id); err != nil {
 			return MutationResult{}, false, err
 		}
 		return MutationResult{Removed: id, HasRemoved: true}, true, nil
 	}
-	res, err := s.rewriteBlock(id, tuples)
+	res, err := s.rewritePublish(id, tuples)
 	return res, true, err
 }
 
@@ -395,7 +442,7 @@ func (s *Store) DeleteFromBlock(id storage.PageID, t relation.Tuple) (MutationRe
 // when it no longer fits. Batch insertion uses it to merge many tuples
 // into a block with a single rewrite.
 func (s *Store) RewriteBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
-	if _, ok := s.pos[id]; !ok {
+	if _, ok := s.man.Load().pos[id]; !ok {
 		return MutationResult{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	if len(tuples) == 0 {
@@ -404,15 +451,18 @@ func (s *Store) RewriteBlock(id storage.PageID, tuples []relation.Tuple) (Mutati
 	if !s.schema.TuplesSorted(tuples) {
 		return MutationResult{}, errors.New("blockstore: rewrite input not in phi order")
 	}
-	return s.rewriteBlock(id, tuples)
+	return s.rewritePublish(id, tuples)
 }
 
-// rewriteBlock re-codes tuples onto a fresh page (copy-on-write),
-// splitting into additional blocks when they no longer fit. The original
-// page is freed, never overwritten: combined with the file pager's
-// deferred reuse, a crash between catalog checkpoints can never clobber a
-// block the last durable catalog references.
-func (s *Store) rewriteBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+// rewritePublish re-codes tuples onto fresh pages (copy-on-write),
+// splitting into additional blocks when they no longer fit, then
+// publishes the edited manifest and frees the replaced page. The original
+// page is freed only after publication — and only once no snapshot pins
+// it — so a crash between catalog checkpoints can never clobber a block
+// the last durable catalog references, and concurrent snapshot readers
+// keep a consistent pre-rewrite view.
+func (s *Store) rewritePublish(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+	m := s.man.Load().clone()
 	size, err := core.EncodedSize(s.codec, s.schema, tuples)
 	if err != nil {
 		return MutationResult{}, err
@@ -422,14 +472,25 @@ func (s *Store) rewriteBlock(id storage.PageID, tuples []relation.Tuple) (Mutati
 		if err != nil {
 			return MutationResult{}, err
 		}
-		if err := s.replacePage(id, newID); err != nil {
+		at, ok := m.pos[id]
+		if !ok {
+			s.freePageBestEffort(newID)
+			return MutationResult{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+		}
+		f := fenceFor(tuples)
+		m.blocks[at] = newID
+		m.fences[at] = f
+		delete(m.pos, id)
+		m.pos[newID] = at
+		s.man.Store(m)
+		if err := s.freeBlockPage(id); err != nil {
 			return MutationResult{}, err
 		}
 		return MutationResult{Blocks: []BlockRef{{
-			Page: newID, First: tuples[0].Clone(), Count: len(tuples),
+			Page: newID, First: f.First, Count: len(tuples),
 		}}}, nil
 	}
-	return s.splitBlock(id, tuples)
+	return s.splitBlock(m, id, tuples)
 }
 
 // writeFresh codes tuples onto a newly allocated page and returns it. On
@@ -452,40 +513,39 @@ func (s *Store) writeFresh(tuples []relation.Tuple) (storage.PageID, error) {
 	return id, nil
 }
 
-// freePageBestEffort returns an orphaned page (allocated but never linked
-// into the block list) to the pager on an error path.
+// freePageBestEffort returns an orphaned page (allocated but never
+// published in any manifest) to the pager on an error path. Such a page
+// was never visible to a snapshot, so it is freed immediately.
 func (s *Store) freePageBestEffort(id storage.PageID) {
 	s.pool.Free(id) //avqlint:ignore droppederr best-effort rollback on a path already returning the primary error
 }
 
-// freeBlockPage frees a page that held a block, dropping any cached decode
-// first: pagers reuse freed ids, so a stale cache entry would resurrect
-// the old block's tuples under the recycled id.
+// freeBlockPage frees a page that held a published block. While snapshots
+// are live the free is parked (the snapshot may still read the page and
+// the cache may still serve its decode); otherwise the cached decode is
+// dropped first, because pagers reuse freed ids and a stale cache entry
+// would resurrect the old block's tuples under the recycled id.
 func (s *Store) freeBlockPage(id storage.PageID) error {
+	s.snapMu.Lock()
+	if s.snapRefs > 0 {
+		s.deferred = append(s.deferred, id)
+		s.snapMu.Unlock()
+		return nil
+	}
+	s.snapMu.Unlock()
 	if s.cache != nil {
 		s.cache.invalidate(id)
 	}
 	return s.pool.Free(id)
 }
 
-// replacePage swaps newID into oldID's clustered position and frees oldID.
-func (s *Store) replacePage(oldID, newID storage.PageID) error {
-	at, ok := s.pos[oldID]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownBlock, oldID)
-	}
-	s.blocks[at] = newID
-	delete(s.pos, oldID)
-	s.pos[newID] = at
-	return s.freeBlockPage(oldID)
-}
-
 // splitBlock distributes tuples over as many fresh pages as needed,
 // spliced into the original block's clustered position (copy-on-write; the
-// original page is freed). An even first split is preferred (half the
-// tuples per side) so both halves retain insertion slack; if a half still
-// overflows, packing falls back to greedy MaxFit runs.
-func (s *Store) splitBlock(id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
+// original page is freed after the new manifest is published). An even
+// first split is preferred (half the tuples per side) so both halves
+// retain insertion slack; if a half still overflows, packing falls back to
+// greedy MaxFit runs.
+func (s *Store) splitBlock(m *manifest, id storage.PageID, tuples []relation.Tuple) (MutationResult, error) {
 	var runs [][]relation.Tuple
 	half := len(tuples) / 2
 	if half > 0 {
@@ -517,98 +577,88 @@ func (s *Store) splitBlock(id storage.PageID, tuples []relation.Tuple) (Mutation
 	}
 
 	var res MutationResult
-	at, ok := s.pos[id]
+	at, ok := m.pos[id]
 	if !ok {
 		return MutationResult{}, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	newIDs := make([]storage.PageID, len(runs))
+	newFences := make([]Fence, len(runs))
 	for i, run := range runs {
 		newID, err := s.writeFresh(run)
 		if err != nil {
-			// Roll back the halves already written: they are not yet in
-			// s.blocks, and leaving them allocated would strand their pages
-			// forever. The original block is untouched, so the store stays
-			// exactly as it was before the split.
+			// Roll back the halves already written: they are not in any
+			// published manifest, and leaving them allocated would strand
+			// their pages forever. The original block is untouched, so the
+			// store stays exactly as it was before the split.
 			for _, written := range newIDs[:i] {
 				s.freePageBestEffort(written)
 			}
 			return MutationResult{}, err
 		}
 		newIDs[i] = newID
-		res.Blocks = append(res.Blocks, BlockRef{Page: newID, First: run[0].Clone(), Count: len(run)})
+		newFences[i] = fenceFor(run)
+		res.Blocks = append(res.Blocks, BlockRef{Page: newID, First: newFences[i].First, Count: len(run)})
 	}
 	// Splice: replace the original slot with the first run, insert the rest
 	// after it.
-	s.blocks[at] = newIDs[0]
-	delete(s.pos, id)
+	m.blocks[at] = newIDs[0]
+	m.fences[at] = newFences[0]
+	delete(m.pos, id)
 	for i := 1; i < len(newIDs); i++ {
 		insertAt := at + i
-		s.blocks = append(s.blocks, 0)
-		copy(s.blocks[insertAt+1:], s.blocks[insertAt:])
-		s.blocks[insertAt] = newIDs[i]
+		m.blocks = append(m.blocks, 0)
+		copy(m.blocks[insertAt+1:], m.blocks[insertAt:])
+		m.blocks[insertAt] = newIDs[i]
+		m.fences = append(m.fences, Fence{})
+		copy(m.fences[insertAt+1:], m.fences[insertAt:])
+		m.fences[insertAt] = newFences[i]
 	}
-	s.reindexFrom(at)
+	m.reindexFrom(at)
+	s.man.Store(m)
 	if err := s.freeBlockPage(id); err != nil {
 		return MutationResult{}, err
 	}
 	return res, nil
 }
 
-// removeBlock frees an emptied block's page.
-func (s *Store) removeBlock(id storage.PageID) error {
-	at, ok := s.pos[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownBlock, id)
-	}
-	s.blocks = append(s.blocks[:at], s.blocks[at+1:]...)
-	delete(s.pos, id)
-	s.reindexFrom(at)
-	return s.freeBlockPage(id)
-}
-
-// reindexFrom refreshes the page-to-position map from position at onward.
-func (s *Store) reindexFrom(at int) {
-	for i := at; i < len(s.blocks); i++ {
-		s.pos[s.blocks[i]] = i
-	}
-}
-
 // Reset frees every block page and empties the store, leaving it ready for
 // a fresh BulkLoad. Compaction uses it to tear down the old layout.
 func (s *Store) Reset() error {
-	for _, id := range s.blocks {
-		if err := s.freeBlockPage(id); err != nil {
-			return err
-		}
-	}
-	s.blocks = nil
-	s.pos = make(map[storage.PageID]int)
+	old := s.man.Load()
+	s.man.Store(newManifest())
+	err := s.freeAll(old.blocks)
 	if s.cache != nil {
 		s.cache.clear()
 	}
-	return nil
+	return err
 }
 
 // NextBlock returns the page following id in clustered order, or false at
 // the end. Range scans use it to walk contiguous blocks.
 func (s *Store) NextBlock(id storage.PageID) (storage.PageID, bool) {
-	at, ok := s.pos[id]
-	if !ok || at+1 >= len(s.blocks) {
+	m := s.man.Load()
+	at, ok := m.pos[id]
+	if !ok || at+1 >= len(m.blocks) {
 		return 0, false
 	}
-	return s.blocks[at+1], true
+	return m.blocks[at+1], true
 }
 
 // ScanBlocks visits every block in clustered order, decoding each. fn
 // returning false stops the scan. With Concurrency > 1 blocks are
 // prefetched and decoded on a worker pool, but fn still observes them
-// strictly in clustered order, one at a time.
+// strictly in clustered order, one at a time. The scan holds a Snapshot
+// for its duration, so it streams a consistent view even while another
+// goroutine mutates the store.
 func (s *Store) ScanBlocks(fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
-	if s.parallel() && len(s.blocks) > 1 {
-		return s.scanBlocksParallel(fn)
+	sn := s.Snapshot()
+	defer sn.Release()
+	m := sn.m
+	if s.parallel() && len(m.blocks) > 1 {
+		return s.scanBlocksParallel(m, fn)
 	}
-	for _, id := range s.blocks {
-		tuples, err := s.ReadBlock(id)
+	for _, id := range m.blocks {
+		tuples, err := s.decodeBlockCached(id)
 		if err != nil {
 			return err
 		}
@@ -648,13 +698,17 @@ func (st Stats) StreamSavingsPercent() float64 {
 }
 
 // ComputeStats walks the store and returns its layout statistics. With
-// Concurrency > 1 blocks are inspected on a worker pool.
+// Concurrency > 1 blocks are inspected on a worker pool. Like ScanBlocks
+// it works over one pinned snapshot.
 func (s *Store) ComputeStats() (Stats, error) {
-	if s.parallel() && len(s.blocks) > 1 {
-		return s.computeStatsParallel()
+	sn := s.Snapshot()
+	defer sn.Release()
+	m := sn.m
+	if s.parallel() && len(m.blocks) > 1 {
+		return s.computeStatsParallel(m)
 	}
-	st := Stats{Blocks: len(s.blocks), PageBytes: len(s.blocks) * s.pool.PageSize()}
-	for _, id := range s.blocks {
+	st := Stats{Blocks: len(m.blocks), PageBytes: len(m.blocks) * s.pool.PageSize()}
+	for _, id := range m.blocks {
 		info, err := s.inspectBlock(id)
 		if err != nil {
 			return Stats{}, err
@@ -691,18 +745,23 @@ func (s *Store) inspectBlock(id storage.PageID) (core.BlockInfo, error) {
 
 // CheckInvariants verifies the clustered layout: the position map matches
 // the block list, every block decodes, blocks are non-empty and internally
-// sorted, and block boundaries respect phi order. Tests and the avqtool
+// sorted, block boundaries respect phi order, and every known φ-fence
+// agrees with the decoded block it summarizes. Tests and the avqtool
 // verify command use it.
 func (s *Store) CheckInvariants() error {
-	if len(s.pos) != len(s.blocks) {
-		return fmt.Errorf("blockstore: %d positions for %d blocks", len(s.pos), len(s.blocks))
+	m := s.man.Load()
+	if len(m.pos) != len(m.blocks) {
+		return fmt.Errorf("blockstore: %d positions for %d blocks", len(m.pos), len(m.blocks))
+	}
+	if len(m.fences) != len(m.blocks) {
+		return fmt.Errorf("blockstore: %d fences for %d blocks", len(m.fences), len(m.blocks))
 	}
 	var prevLast relation.Tuple
-	for i, id := range s.blocks {
-		if s.pos[id] != i {
-			return fmt.Errorf("blockstore: page %d position %d != %d", id, s.pos[id], i)
+	for i, id := range m.blocks {
+		if m.pos[id] != i {
+			return fmt.Errorf("blockstore: page %d position %d != %d", id, m.pos[id], i)
 		}
-		tuples, err := s.ReadBlock(id)
+		tuples, err := s.decodeBlockCached(id)
 		if err != nil {
 			return fmt.Errorf("blockstore: block %d: %w", i, err)
 		}
@@ -716,6 +775,17 @@ func (s *Store) CheckInvariants() error {
 			return fmt.Errorf("blockstore: block %d overlaps predecessor", i)
 		}
 		prevLast = tuples[len(tuples)-1]
+		if f := m.fences[i]; f.Known() {
+			if f.Count != len(tuples) {
+				return fmt.Errorf("blockstore: block %d fence count %d, %d decoded", i, f.Count, len(tuples))
+			}
+			if s.schema.Compare(f.First, tuples[0]) != 0 {
+				return fmt.Errorf("blockstore: block %d fence first tuple disagrees with block", i)
+			}
+			if s.schema.Compare(f.Last, tuples[len(tuples)-1]) != 0 {
+				return fmt.Errorf("blockstore: block %d fence last tuple disagrees with block", i)
+			}
+		}
 	}
 	return nil
 }

@@ -15,12 +15,15 @@ import (
 //
 // Per block it verifies:
 //   - the page header: the stream-length prefix fits the page capacity;
-//   - the coded stream: magic byte, CRC, a codec matching the store's, and
-//     a header tuple count agreeing with what actually decodes;
+//   - the coded stream: magic byte, CRC, a codec matching the store's, a
+//     header tuple count agreeing with what actually decodes, and a
+//     representative index (from Inspect, never a decode) that anchors the
+//     tuple the full decode places there;
 //   - that every stored difference decodes back to a tuple inside the
 //     schema's φ space (every digit below its domain size) and inside the
 //     block's φ range — at or after the block's first (representative-
-//     anchored) tuple and strictly before the next block's first tuple;
+//     anchored) tuple and strictly before the next block's first tuple,
+//     taken from the successor's φ-fence so no block is decoded twice;
 //   - representative-tuple ordering across blocks, cross-checked with the
 //     arbitrary-precision φ of each block's first tuple, so a bug in the
 //     digit-wise comparator cannot hide a mis-ordered layout.
@@ -31,7 +34,8 @@ func (s *Store) Check() error {
 	if err := s.CheckInvariants(); err != nil {
 		return err
 	}
-	for i, id := range s.blocks {
+	m := s.man.Load()
+	for i, id := range m.blocks {
 		// Header and stream validation against the raw page.
 		frame, err := s.pool.Get(id)
 		if err != nil {
@@ -64,13 +68,27 @@ func (s *Store) Check() error {
 		if len(tuples) != info.TupleCount {
 			return fmt.Errorf("blockstore: block %d header says %d tuples, %d decoded", i, info.TupleCount, len(tuples))
 		}
+		if info.RepIndex < 0 || info.RepIndex >= len(tuples) {
+			return fmt.Errorf("blockstore: block %d representative index %d out of range [0,%d)", i, info.RepIndex, len(tuples))
+		}
+		anchor, err := core.DecodeTupleAt(s.schema, stream, info.RepIndex)
+		if err != nil {
+			return fmt.Errorf("blockstore: check block %d anchor: %w", i, err)
+		}
+		if s.schema.Compare(anchor, tuples[info.RepIndex]) != 0 {
+			return fmt.Errorf("blockstore: block %d anchor decode disagrees with full decode at ordinal %d", i, info.RepIndex)
+		}
 		var next relation.Tuple // first tuple of the following block, if any
-		if i+1 < len(s.blocks) {
-			nt, err := s.ReadBlock(s.blocks[i+1])
-			if err != nil {
-				return fmt.Errorf("blockstore: check block %d successor: %w", i, err)
+		if i+1 < len(m.blocks) {
+			if f := m.fences[i+1]; f.Known() {
+				next = f.First
+			} else {
+				nt, err := s.decodeBlockCached(m.blocks[i+1])
+				if err != nil {
+					return fmt.Errorf("blockstore: check block %d successor: %w", i, err)
+				}
+				next = nt[0]
 			}
-			next = nt[0]
 		}
 		for j, tu := range tuples {
 			if err := s.schema.ValidateTuple(tu); err != nil {

@@ -198,25 +198,25 @@ func (s *Store) encodeChunks(chunks [][]relation.Tuple) ([][]byte, error) {
 	return streams, nil
 }
 
-// commitChunks appends the pre-encoded chunks as blocks, allocating pages
-// strictly in chunk order so the layout matches a serial load.
-func (s *Store) commitChunks(chunks [][]relation.Tuple, streams [][]byte) ([]BlockRef, error) {
+// commitChunks appends the pre-encoded chunks as blocks of m, allocating
+// pages strictly in chunk order so the layout matches a serial load.
+func (s *Store) commitChunks(m *manifest, chunks [][]relation.Tuple, streams [][]byte) ([]BlockRef, error) {
 	refs := make([]BlockRef, 0, len(chunks))
 	for i, stream := range streams {
 		id, err := s.writeStream(stream)
 		if err != nil {
 			return nil, err
 		}
-		s.pos[id] = len(s.blocks)
-		s.blocks = append(s.blocks, id)
-		refs = append(refs, BlockRef{Page: id, First: chunks[i][0].Clone(), Count: len(chunks[i])})
+		f := fenceFor(chunks[i])
+		m.append(id, f)
+		refs = append(refs, BlockRef{Page: id, First: f.First, Count: len(chunks[i])})
 	}
 	return refs, nil
 }
 
 // bulkLoadParallel is the pipelined BulkLoad body for additive codecs. The
-// caller has validated ordering and emptiness.
-func (s *Store) bulkLoadParallel(z *core.Sizer, tuples []relation.Tuple) ([]BlockRef, error) {
+// caller has validated ordering and emptiness and publishes m.
+func (s *Store) bulkLoadParallel(m *manifest, z *core.Sizer, tuples []relation.Tuple) ([]BlockRef, error) {
 	if len(tuples) == 0 {
 		return nil, nil
 	}
@@ -232,14 +232,14 @@ func (s *Store) bulkLoadParallel(z *core.Sizer, tuples []relation.Tuple) ([]Bloc
 	if err != nil {
 		return nil, err
 	}
-	return s.commitChunks(chunks, streams)
+	return s.commitChunks(m, chunks, streams)
 }
 
 // loadWindowParallel chunks and loads the window's complete blocks through
 // the pipeline, returning the unconsumed tail. When dry, the tail is
 // loaded too and comes back empty. grown reports that no complete block
 // fit in the window, so the caller must widen it.
-func (s *Store) loadWindowParallel(z *core.Sizer, window []relation.Tuple, dry bool) (refs []BlockRef, tail []relation.Tuple, grown bool, err error) {
+func (s *Store) loadWindowParallel(m *manifest, z *core.Sizer, window []relation.Tuple, dry bool) (refs []BlockRef, tail []relation.Tuple, grown bool, err error) {
 	costs, err := s.pairCosts(window)
 	if err != nil {
 		return nil, window, false, err
@@ -260,7 +260,7 @@ func (s *Store) loadWindowParallel(z *core.Sizer, window []relation.Tuple, dry b
 	if err != nil {
 		return nil, window, false, err
 	}
-	refs, err = s.commitChunks(chunks, streams)
+	refs, err = s.commitChunks(m, chunks, streams)
 	if err != nil {
 		return nil, window, false, err
 	}
@@ -277,8 +277,8 @@ type scanResult struct {
 // lookahead and delivers them to fn strictly in clustered order. fn
 // returning false (or a decode error) stops the pipeline; in-flight
 // workers are drained before returning so no goroutine outlives the call.
-func (s *Store) scanBlocksParallel(fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
-	ids := append([]storage.PageID(nil), s.blocks...)
+func (s *Store) scanBlocksParallel(m *manifest, fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
+	ids := m.blocks
 	workers := s.scanWorkers(len(ids))
 	futures := make(chan chan scanResult, workers*2)
 	sem := make(chan struct{}, workers)
@@ -332,9 +332,9 @@ func (s *Store) scanBlocksParallel(fn func(id storage.PageID, tuples []relation.
 
 // computeStatsParallel inspects blocks on the worker pool; the sums are
 // order-independent, so only error selection needs the index.
-func (s *Store) computeStatsParallel() (Stats, error) {
-	st := Stats{Blocks: len(s.blocks), PageBytes: len(s.blocks) * s.pool.PageSize()}
-	workers := s.scanWorkers(len(s.blocks))
+func (s *Store) computeStatsParallel(m *manifest) (Stats, error) {
+	st := Stats{Blocks: len(m.blocks), PageBytes: len(m.blocks) * s.pool.PageSize()}
+	workers := s.scanWorkers(len(m.blocks))
 	parts := make([]Stats, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -345,10 +345,10 @@ func (s *Store) computeStatsParallel() (Stats, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(s.blocks) {
+				if i >= len(m.blocks) {
 					return
 				}
-				info, err := s.inspectBlock(s.blocks[i])
+				info, err := s.inspectBlock(m.blocks[i])
 				if err != nil {
 					firstErr.record(i, err)
 					return

@@ -178,16 +178,37 @@ type BlockInfo struct {
 	Codec      Codec
 	TupleCount int
 	StreamSize int // total bytes including header and checksum
+
+	// RepIndex is the position (in phi order) of the block's anchor tuple:
+	// the median representative for CodecAVQ, CodecRepOnly, and
+	// CodecPacked, and position 0 for CodecRaw and CodecDeltaChain, whose
+	// decode chains are anchored at the first tuple.
+	RepIndex int
 }
 
 // Inspect validates the header and checksum of an encoded block and
-// returns its summary.
+// returns its summary. The representative index is read straight from the
+// stream prefix, so no tuple is ever decoded.
 func Inspect(buf []byte) (BlockInfo, error) {
-	_, count, c, err := checkHeader(buf)
+	body, count, c, err := checkHeader(buf)
 	if err != nil {
 		return BlockInfo{}, err
 	}
-	return BlockInfo{Codec: c, TupleCount: count, StreamSize: len(buf)}, nil
+	info := BlockInfo{Codec: c, TupleCount: count, StreamSize: len(buf)}
+	switch c {
+	case CodecAVQ, CodecRepOnly, CodecPacked:
+		if count > 0 {
+			mid, _, err := readUvarint(body, 0)
+			if err != nil {
+				return BlockInfo{}, fmt.Errorf("%w: representative index: %v", ErrCorrupt, err)
+			}
+			if mid >= uint64(count) {
+				return BlockInfo{}, fmt.Errorf("%w: representative index %d >= tuple count %d", ErrCorrupt, mid, count)
+			}
+			info.RepIndex = int(mid)
+		}
+	}
+	return info, nil
 }
 
 // checkHeader verifies magic, codec, count, and checksum, returning the

@@ -203,6 +203,261 @@ func decodeRepOnlyAt(s *relation.Schema, count int, body []byte, idx int) (relat
 	return out, nil
 }
 
+// DecodeTupleSpan reconstructs the tuples at positions [from, to) of an
+// encoded block, in phi order, without materializing the rest of the
+// block. It is the executor's narrow-range primitive: when a φ-fence says
+// only a slice of a block can match, the chain is walked once from the
+// anchor to the span instead of decoding all u tuples.
+//
+// Costs by codec (u tuples, span s = to-from):
+//
+//	CodecRaw        O(s)          direct offsets
+//	CodecAVQ        O(mid-from)   before the median; O(to-mid) after it
+//	CodecRepOnly    O(from + s)   skip earlier diffs, one apply each
+//	CodecDeltaChain O(to)         chain steps from the first tuple
+//	CodecPacked     O(u)          full decode (no per-diff byte framing)
+func DecodeTupleSpan(s *relation.Schema, buf []byte, from, to int) ([]relation.Tuple, error) {
+	body, count, c, err := checkHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if from < 0 || to > count || from > to {
+		return nil, fmt.Errorf("core: tuple span [%d,%d) out of range [0,%d)", from, to, count)
+	}
+	if from == to {
+		return nil, nil
+	}
+	switch c {
+	case CodecRaw:
+		m := s.RowSize()
+		if len(body) != count*m {
+			return nil, fmt.Errorf("%w: raw payload is %d bytes, want %d", ErrCorrupt, len(body), count*m)
+		}
+		out := make([]relation.Tuple, 0, to-from)
+		for i := from; i < to; i++ {
+			t, err := s.DecodeTuple(body[i*m:])
+			if err != nil {
+				return nil, err
+			}
+			if err := validateDigits(s, t); err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	case CodecAVQ:
+		return decodeAVQSpan(s, count, body, from, to)
+	case CodecRepOnly:
+		return decodeRepOnlySpan(s, count, body, from, to)
+	case CodecDeltaChain:
+		return decodeDeltaChainSpan(s, body, from, to)
+	case CodecPacked:
+		tuples, err := decodePacked(s, count, body)
+		if err != nil {
+			return nil, err
+		}
+		return tuples[from:to], nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadCodec, uint8(c))
+	}
+}
+
+// decodeAVQSpan reconstructs positions [from, to) by walking the two
+// chain groups outward from the median representative.
+func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]relation.Tuple, error) {
+	mid, rep, pos, err := readAVQPrefix(s, count, body)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NumAttrs()
+	scratch := make([]byte, s.RowSize())
+	out := make([]relation.Tuple, to-from)
+
+	if from < mid {
+		// The first group stores d[i] = t[i+1] - t[i] at position i.
+		// Skip the diffs before `from`, buffer d[from..mid-1], then apply
+		// in reverse from the representative: t[i] = t[i+1] - d[i].
+		if pos, err = skipDiffs(s, body, pos, from); err != nil {
+			return nil, err
+		}
+		diffs := make([]relation.Tuple, mid-from)
+		for i := from; i < mid; i++ {
+			d := make(relation.Tuple, n)
+			if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+				return nil, err
+			}
+			if err := validateDigits(s, d); err != nil {
+				return nil, err
+			}
+			diffs[i-from] = d
+		}
+		acc := make(relation.Tuple, n)
+		copy(acc, rep)
+		for i := mid - 1; i >= from; i-- {
+			if _, err := ordinal.Sub(s, acc, acc, diffs[i-from]); err != nil {
+				return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+			}
+			if i < to {
+				t := make(relation.Tuple, n)
+				copy(t, acc)
+				out[i-from] = t
+			}
+		}
+		// pos now sits at the start of the after group.
+	} else if pos, err = skipDiffs(s, body, pos, mid); err != nil {
+		return nil, err
+	}
+
+	if from <= mid && mid < to {
+		t := make(relation.Tuple, n)
+		copy(t, rep)
+		out[mid-from] = t
+	}
+	if to <= mid+1 {
+		return out, nil
+	}
+
+	// After group: t[i] = t[i-1] + d[i]. Each value depends on its
+	// predecessor, so the chain is replayed from the representative even
+	// when from > mid+1; only positions >= from are emitted.
+	acc := make(relation.Tuple, n)
+	copy(acc, rep)
+	d := make(relation.Tuple, n)
+	for i := mid + 1; i < to; i++ {
+		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			return nil, err
+		}
+		if err := validateDigits(s, d); err != nil {
+			return nil, err
+		}
+		if _, err := ordinal.Add(s, acc, acc, d); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		if i >= from {
+			t := make(relation.Tuple, n)
+			copy(t, acc)
+			out[i-from] = t
+		}
+	}
+	return out, nil
+}
+
+// decodeRepOnlySpan skips to the span's first difference and applies each
+// once against the representative.
+func decodeRepOnlySpan(s *relation.Schema, count int, body []byte, from, to int) ([]relation.Tuple, error) {
+	mid, rep, pos, err := readAVQPrefix(s, count, body)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NumAttrs()
+	scratch := make([]byte, s.RowSize())
+	out := make([]relation.Tuple, to-from)
+	// Differences are stored in block order with the representative's slot
+	// omitted.
+	skip := from
+	if from > mid {
+		skip = from - 1
+	}
+	if pos, err = skipDiffs(s, body, pos, skip); err != nil {
+		return nil, err
+	}
+	d := make(relation.Tuple, n)
+	for i := from; i < to; i++ {
+		if i == mid {
+			t := make(relation.Tuple, n)
+			copy(t, rep)
+			out[i-from] = t
+			continue
+		}
+		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			return nil, err
+		}
+		if err := validateDigits(s, d); err != nil {
+			return nil, err
+		}
+		t := make(relation.Tuple, n)
+		if i < mid {
+			_, err = ordinal.Sub(s, t, rep, d)
+		} else {
+			_, err = ordinal.Add(s, t, rep, d)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		out[i-from] = t
+	}
+	return out, nil
+}
+
+// decodeDeltaChainSpan walks the chain from the first tuple through to-1,
+// emitting positions >= from.
+func decodeDeltaChainSpan(s *relation.Schema, body []byte, from, to int) ([]relation.Tuple, error) {
+	m := s.RowSize()
+	if len(body) < m {
+		return nil, ErrTruncated
+	}
+	first, err := s.DecodeTuple(body)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDigits(s, first); err != nil {
+		return nil, err
+	}
+	n := s.NumAttrs()
+	out := make([]relation.Tuple, to-from)
+	if from == 0 {
+		out[0] = first
+	}
+	pos := m
+	scratch := make([]byte, m)
+	d := make(relation.Tuple, n)
+	acc := make(relation.Tuple, n)
+	copy(acc, first)
+	for i := 1; i < to; i++ {
+		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			return nil, err
+		}
+		if err := validateDigits(s, d); err != nil {
+			return nil, err
+		}
+		if _, err := ordinal.Add(s, acc, acc, d); err != nil {
+			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
+		}
+		if i >= from {
+			t := make(relation.Tuple, n)
+			copy(t, acc)
+			out[i-from] = t
+		}
+	}
+	return out, nil
+}
+
+// SearchBlock binary-searches an encoded block for the first position at
+// which pred becomes true. pred must be monotone over the block's phi
+// order (false...false true...true); the result is count when pred is
+// false everywhere. Probes use DecodeTupleAt, so the search touches
+// O(log u) positions instead of decoding the block.
+func SearchBlock(s *relation.Schema, buf []byte, pred func(relation.Tuple) bool) (int, error) {
+	_, count, _, err := checkHeader(buf)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := 0, count
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		t, err := DecodeTupleAt(s, buf, mid)
+		if err != nil {
+			return 0, err
+		}
+		if pred(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
 // decodeDeltaChainAt walks the chain from the first tuple to idx.
 func decodeDeltaChainAt(s *relation.Schema, count int, body []byte, idx int) (relation.Tuple, error) {
 	m := s.RowSize()

@@ -1,0 +1,234 @@
+// Package exec is the streaming executor: the single read path behind
+// every table-level query (scans, range and point selections, aggregates,
+// group-by, cursors, and joins). It walks a blockstore snapshot in
+// clustered order, prunes blocks whose φ-fence cannot intersect the
+// predicate, and partially decodes blocks that only straddle the range
+// boundary — the paper's localized-access claim (Sections 3.4 and 5)
+// realized as an engine instead of per-query block loops.
+//
+// The executor never touches the live store: it operates on a pinned
+// blockstore.Snapshot, so a pass keeps streaming its pre-mutation view
+// while writers rewrite blocks underneath it.
+package exec
+
+import (
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Pred is one conjunct of a selection, lo <= A_attr <= hi. The planner
+// validates the attribute and clamps hi to the domain before building a
+// Plan; the executor applies predicates verbatim.
+type Pred struct {
+	Attr   int
+	Lo, Hi uint64
+}
+
+// matches reports whether tu satisfies the predicate.
+func (p Pred) matches(tu relation.Tuple) bool {
+	return tu[p.Attr] >= p.Lo && tu[p.Attr] <= p.Hi
+}
+
+// Plan describes one streaming pass over a snapshot.
+type Plan struct {
+	// Preds is the conjunction every emitted tuple must satisfy. A
+	// predicate on attribute 0 (the clustering prefix) additionally bounds
+	// the pass: φ-fences prune non-intersecting blocks, and blocks that
+	// straddle the range boundary are decoded partially.
+	Preds []Pred
+	// Candidates, when non-nil, restricts the pass to the listed blocks —
+	// the secondary-index prefilter. Nil means every block is a candidate.
+	Candidates map[storage.PageID]struct{}
+	// NoPartial forces full block decodes even on straddling blocks; the
+	// differential tests use it to pit the two decode paths against each
+	// other.
+	NoPartial bool
+}
+
+// Stats reports what a pass cost. BlocksRead counts pages actually
+// fetched (full or partial decode); cache hits are reported separately so
+// the paper's N (Section 5.3.3) stays an I/O count.
+type Stats struct {
+	// BlocksTotal is the number of blocks in the snapshot.
+	BlocksTotal int
+	// BlocksPruned counts candidate blocks skipped on their φ-fence alone,
+	// without touching the pager.
+	BlocksPruned int
+	// BlocksRead counts blocks fetched from the pool (page reads).
+	BlocksRead int
+	// CacheHits counts blocks served by the decoded-block cache instead
+	// of a page read.
+	CacheHits int
+	// PartialDecodes counts blocks where only the qualifying span was
+	// decoded; FullDecodes counts whole-block decodes.
+	PartialDecodes int
+	FullDecodes    int
+	// Matches counts tuples passed to emit.
+	Matches int
+}
+
+// boundOf splits the plan's conjunction into the clustering bound (the
+// first predicate on attribute 0, if any) and the rest. Only attribute 0
+// is monotone in clustered order, so only it can prune blocks by fence.
+func boundOf(preds []Pred) (bound *Pred, rest []Pred) {
+	for i := range preds {
+		if preds[i].Attr == 0 && bound == nil {
+			bound = &preds[i]
+			continue
+		}
+		rest = append(rest, preds[i])
+	}
+	return bound, rest
+}
+
+// Run streams the snapshot's tuples matching the plan to emit, in φ
+// order. emit returning false stops the pass early. The returned Stats
+// are valid on error too, reflecting the work done up to it.
+func Run(sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (Stats, error) {
+	st := Stats{BlocksTotal: sn.NumBlocks()}
+	bound, rest := boundOf(plan.Preds)
+	// Packed blocks have no per-tuple chain entry points worth walking; a
+	// span decode degenerates to a full decode, so skip the partial path.
+	partialOK := !plan.NoPartial && sn.Codec() != core.CodecPacked
+	n := sn.NumBlocks()
+	for i := 0; i < n; i++ {
+		if plan.Candidates != nil {
+			if _, ok := plan.Candidates[sn.Block(i)]; !ok {
+				continue
+			}
+		}
+		f := sn.Fence(i)
+		known := f.Known()
+		if bound != nil && known {
+			// Blocks are clustered and non-overlapping: once a block starts
+			// beyond the range, every later block does too.
+			if f.First[0] > bound.Hi {
+				st.BlocksPruned += countCandidates(sn, plan.Candidates, i, n)
+				return st, nil
+			}
+			if f.Last[0] < bound.Lo {
+				st.BlocksPruned++
+				continue
+			}
+		}
+		straddle := bound != nil && known &&
+			(f.First[0] < bound.Lo || f.Last[0] > bound.Hi)
+		var stop bool
+		var err error
+		if straddle && partialOK {
+			stop, err = runPartial(sn, i, &st, *bound, rest, emit)
+		} else {
+			stop, err = runFull(sn, i, &st, plan.Preds, bound, emit)
+		}
+		if err != nil {
+			return st, err
+		}
+		if stop {
+			return st, nil
+		}
+		if bound != nil && known && f.Last[0] > bound.Hi {
+			// The range ends inside this block; the remainder is prunable.
+			st.BlocksPruned += countCandidates(sn, plan.Candidates, i+1, n)
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+// countCandidates counts candidate blocks in positions [from, n): the
+// blocks a fence break skips without visiting.
+func countCandidates(sn *blockstore.Snapshot, cand map[storage.PageID]struct{}, from, n int) int {
+	if cand == nil {
+		return n - from
+	}
+	c := 0
+	for i := from; i < n; i++ {
+		if _, ok := cand[sn.Block(i)]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+// runPartial decodes only the qualifying span of a straddling block:
+// binary search on the clustering attribute finds the span boundaries
+// with O(log u) partial-decode probes, then one span decode materializes
+// exactly the qualifying run. Tuples in the span satisfy the bound by
+// construction; only the residual conjuncts filter.
+func runPartial(sn *blockstore.Snapshot, i int, st *Stats, bound Pred, rest []Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
+	stream, err := sn.ReadStream(i)
+	if err != nil {
+		return false, err
+	}
+	st.BlocksRead++
+	st.PartialDecodes++
+	s := sn.Schema()
+	start, err := core.SearchBlock(s, stream, func(tu relation.Tuple) bool { return tu[0] >= bound.Lo })
+	if err != nil {
+		return false, err
+	}
+	end, err := core.SearchBlock(s, stream, func(tu relation.Tuple) bool { return tu[0] > bound.Hi })
+	if err != nil {
+		return false, err
+	}
+	if start >= end {
+		return false, nil
+	}
+	span, err := core.DecodeTupleSpan(s, stream, start, end)
+	if err != nil {
+		return false, err
+	}
+	for _, tu := range span {
+		if !matchesAll(rest, tu) {
+			continue
+		}
+		st.Matches++
+		if !emit(tu) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// runFull decodes the whole block (through the decoded-block cache) and
+// filters every conjunct. With an unknown fence it also applies the
+// clustered stop rule: a block starting beyond the bound ends the pass.
+func runFull(sn *blockstore.Snapshot, i int, st *Stats, preds []Pred, bound *Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
+	tuples, hit, err := sn.ReadBlock(i)
+	if err != nil {
+		return false, err
+	}
+	if hit {
+		st.CacheHits++
+	} else {
+		st.BlocksRead++
+	}
+	st.FullDecodes++
+	if bound != nil && len(tuples) > 0 && tuples[0][0] > bound.Hi {
+		// Only reachable with an unknown fence; nothing here qualifies and
+		// neither does anything later.
+		return true, nil
+	}
+	for _, tu := range tuples {
+		if !matchesAll(preds, tu) {
+			continue
+		}
+		st.Matches++
+		if !emit(tu) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// matchesAll reports whether tu satisfies every conjunct.
+func matchesAll(preds []Pred, tu relation.Tuple) bool {
+	for _, p := range preds {
+		if !p.matches(tu) {
+			return false
+		}
+	}
+	return true
+}

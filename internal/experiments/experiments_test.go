@@ -341,3 +341,44 @@ func TestPipelineSmallScale(t *testing.T) {
 		t.Fatal("JSON record missing byte_identical")
 	}
 }
+
+func TestPruningSmallScale(t *testing.T) {
+	res, err := RunPruning(PruningConfig{Tuples: 8000, Reps: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks <= 0 || len(res.Rows) == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	// The paper's selective ranges must show real pruning with the partial
+	// decode path engaged on the boundary blocks.
+	selective := res.Rows[0]
+	if selective.PrunedPercent <= 0 {
+		t.Fatalf("selective range pruned nothing: %+v", selective)
+	}
+	if selective.PartialDecodes == 0 {
+		t.Fatalf("selective range never partial-decoded: %+v", selective)
+	}
+	for _, row := range res.Rows {
+		if row.Matches <= 0 {
+			t.Fatalf("empty range at selectivity %.2f", row.Selectivity)
+		}
+		if row.BlocksPruned+row.FullDecodes+row.PartialDecodes != row.BlocksTotal {
+			t.Fatalf("block accounting broken: %+v", row)
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pruned %") {
+		t.Fatalf("report missing pruning column:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"pruned_percent\"") {
+		t.Fatal("JSON record missing pruned_percent")
+	}
+}

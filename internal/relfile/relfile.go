@@ -22,10 +22,15 @@ import (
 	"repro/internal/relation"
 )
 
-// Format magics. The trailing byte versions the format.
+// Format magics. The trailing byte versions the format. Version 2 of the
+// compressed format prefixes every block stream with its φ-fence (first
+// tuple, last tuple, tuple count), so readers can prune blocks against a
+// range predicate without decoding them and tables can restore fences
+// without a rebuild scan.
 var (
-	magicPlain      = []byte("AVQREL1\n")
-	magicCompressed = []byte("AVQBLK1\n")
+	magicPlain        = []byte("AVQREL1\n")
+	magicCompressed   = []byte("AVQBLK1\n")
+	magicCompressedV2 = []byte("AVQBLK2\n")
 )
 
 // Errors returned by readers.
@@ -167,10 +172,19 @@ func ReadPlain(r io.Reader) (*relation.Schema, []relation.Tuple, error) {
 	return s, tuples, nil
 }
 
+// BlockFence is the φ-fence of one coded block: its first and last tuples
+// in phi order plus the tuple count. A version-2 file stores one per block
+// so a reader can decide block relevance from the header alone.
+type BlockFence struct {
+	First, Last relation.Tuple
+	Count       int
+}
+
 // CompressedInfo summarizes a compressed file.
 type CompressedInfo struct {
 	Schema    *relation.Schema
 	Codec     core.Codec
+	Version   int // compressed-format version: 1 or 2
 	BlockSize int
 	Blocks    int
 	Tuples    int
@@ -178,13 +192,19 @@ type CompressedInfo struct {
 	// relation would occupy in block-granular storage.
 	StreamBytes int
 	BlockBytes  int
+	// Fences holds the per-block φ-fences (version 2 files only), and
+	// Anchors the per-block representative ordinal, both populated by
+	// InspectCompressed.
+	Fences  []BlockFence
+	Anchors []int
 }
 
 // WriteCompressed sorts the tuples into phi order (Section 3.2), packs them
 // into blocks of at most blockSize coded bytes (Section 3.3-3.4), and
-// writes the compressed format. It returns the resulting layout info.
+// writes the version-2 compressed format, in which each block stream is
+// prefixed by its φ-fence. It returns the resulting layout info.
 func WriteCompressed(w io.Writer, s *relation.Schema, tuples []relation.Tuple, codec core.Codec, blockSize int) (CompressedInfo, error) {
-	info := CompressedInfo{Schema: s, Codec: codec, BlockSize: blockSize, Tuples: len(tuples)}
+	info := CompressedInfo{Schema: s, Codec: codec, Version: 2, BlockSize: blockSize, Tuples: len(tuples)}
 	if !codec.Valid() {
 		return info, fmt.Errorf("relfile: invalid codec %d", uint8(codec))
 	}
@@ -201,7 +221,7 @@ func WriteCompressed(w io.Writer, s *relation.Schema, tuples []relation.Tuple, c
 	s.SortTuples(sorted)
 
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicCompressed); err != nil {
+	if _, err := bw.Write(magicCompressedV2); err != nil {
 		return info, err
 	}
 	if err := writeSchema(bw, s); err != nil {
@@ -216,6 +236,7 @@ func WriteCompressed(w io.Writer, s *relation.Schema, tuples []relation.Tuple, c
 
 	// Pack first so the block count can prefix the streams.
 	var streams [][]byte
+	var fences []BlockFence
 	remaining := sorted
 	for len(remaining) > 0 {
 		u, err := core.MaxFit(codec, s, remaining, blockSize)
@@ -230,12 +251,21 @@ func WriteCompressed(w io.Writer, s *relation.Schema, tuples []relation.Tuple, c
 			return info, err
 		}
 		streams = append(streams, stream)
+		fences = append(fences, BlockFence{
+			First: remaining[0].Clone(),
+			Last:  remaining[u-1].Clone(),
+			Count: u,
+		})
 		remaining = remaining[u:]
 	}
 	if err := writeUvarint(bw, uint64(len(streams))); err != nil {
 		return info, err
 	}
-	for _, stream := range streams {
+	buf := make([]byte, 0, s.RowSize())
+	for i, stream := range streams {
+		if err := writeFence(bw, s, fences[i], buf); err != nil {
+			return info, err
+		}
 		if err := writeUvarint(bw, uint64(len(stream))); err != nil {
 			return info, err
 		}
@@ -246,14 +276,68 @@ func WriteCompressed(w io.Writer, s *relation.Schema, tuples []relation.Tuple, c
 	}
 	info.Blocks = len(streams)
 	info.BlockBytes = len(streams) * blockSize
+	info.Fences = fences
 	return info, bw.Flush()
 }
 
-// readCompressedHeader parses everything before the block streams.
+// writeFence writes one φ-fence: count, then the first and last tuples in
+// the schema's fixed-width encoding.
+func writeFence(w *bufio.Writer, s *relation.Schema, f BlockFence, buf []byte) error {
+	if err := writeUvarint(w, uint64(f.Count)); err != nil {
+		return err
+	}
+	for _, tu := range []relation.Tuple{f.First, f.Last} {
+		buf = s.EncodeTuple(buf[:0], tu)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFence reads one φ-fence.
+func readFence(br *bufio.Reader, s *relation.Schema) (BlockFence, error) {
+	count, err := readUvarint(br)
+	if err != nil {
+		return BlockFence{}, err
+	}
+	const maxTuples = 1 << 31
+	if count == 0 || count > maxTuples {
+		return BlockFence{}, fmt.Errorf("relfile: implausible fence tuple count %d", count)
+	}
+	f := BlockFence{Count: int(count)}
+	buf := make([]byte, s.RowSize())
+	for _, dst := range []*relation.Tuple{&f.First, &f.Last} {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return BlockFence{}, ErrTruncated
+		}
+		tu, err := s.DecodeTuple(buf)
+		if err != nil {
+			return BlockFence{}, err
+		}
+		*dst = tu
+	}
+	if s.Compare(f.First, f.Last) > 0 {
+		return BlockFence{}, fmt.Errorf("relfile: fence out of phi order")
+	}
+	return f, nil
+}
+
+// readCompressedHeader parses everything before the block streams,
+// accepting both compressed-format versions.
 func readCompressedHeader(br *bufio.Reader) (CompressedInfo, error) {
 	var info CompressedInfo
-	if err := expectMagic(br, magicCompressed); err != nil {
-		return info, err
+	got := make([]byte, len(magicCompressed))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return info, ErrBadMagic
+	}
+	switch string(got) {
+	case string(magicCompressed):
+		info.Version = 1
+	case string(magicCompressedV2):
+		info.Version = 2
+	default:
+		return info, ErrBadMagic
 	}
 	s, err := readSchema(br)
 	if err != nil {
@@ -296,6 +380,12 @@ func ReadCompressed(r io.Reader) (*relation.Schema, []relation.Tuple, error) {
 	}
 	var tuples []relation.Tuple
 	for b := 0; b < info.Blocks; b++ {
+		var fence BlockFence
+		if info.Version >= 2 {
+			if fence, err = readFence(br, info.Schema); err != nil {
+				return nil, nil, fmt.Errorf("relfile: block %d: %w", b, err)
+			}
+		}
 		stream, err := readStream(br, info.BlockSize)
 		if err != nil {
 			return nil, nil, fmt.Errorf("relfile: block %d: %w", b, err)
@@ -304,13 +394,35 @@ func ReadCompressed(r io.Reader) (*relation.Schema, []relation.Tuple, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("relfile: block %d: %w", b, err)
 		}
+		if info.Version >= 2 {
+			if err := checkFence(info.Schema, fence, blk); err != nil {
+				return nil, nil, fmt.Errorf("relfile: block %d: %w", b, err)
+			}
+		}
 		tuples = append(tuples, blk...)
 	}
 	return info.Schema, tuples, nil
 }
 
+// checkFence verifies a block's stored φ-fence against its decoded tuples.
+func checkFence(s *relation.Schema, f BlockFence, blk []relation.Tuple) error {
+	if f.Count != len(blk) {
+		return fmt.Errorf("relfile: fence count %d, block holds %d tuples", f.Count, len(blk))
+	}
+	if len(blk) == 0 {
+		return nil
+	}
+	if s.Compare(f.First, blk[0]) != 0 || s.Compare(f.Last, blk[len(blk)-1]) != 0 {
+		return fmt.Errorf("relfile: fence disagrees with block contents")
+	}
+	return nil
+}
+
 // InspectCompressed validates every block's framing and checksum without
-// materializing tuples, and returns the layout summary.
+// materializing tuples, and returns the layout summary. On version-2 files
+// it also reads every φ-fence, cross-checks each against the stream's
+// tuple count and boundary tuples (decoded individually, not the whole
+// block), and returns the fences and per-block anchor ordinals.
 func InspectCompressed(r io.Reader) (CompressedInfo, error) {
 	br := bufio.NewReader(r)
 	info, err := readCompressedHeader(br)
@@ -318,6 +430,12 @@ func InspectCompressed(r io.Reader) (CompressedInfo, error) {
 		return info, err
 	}
 	for b := 0; b < info.Blocks; b++ {
+		var fence BlockFence
+		if info.Version >= 2 {
+			if fence, err = readFence(br, info.Schema); err != nil {
+				return info, fmt.Errorf("relfile: block %d: %w", b, err)
+			}
+		}
 		stream, err := readStream(br, info.BlockSize)
 		if err != nil {
 			return info, fmt.Errorf("relfile: block %d: %w", b, err)
@@ -330,6 +448,26 @@ func InspectCompressed(r io.Reader) (CompressedInfo, error) {
 			return info, fmt.Errorf("relfile: block %d codec %v differs from file codec %v",
 				b, blockInfo.Codec, info.Codec)
 		}
+		if info.Version >= 2 {
+			if fence.Count != blockInfo.TupleCount {
+				return info, fmt.Errorf("relfile: block %d fence count %d, stream holds %d tuples",
+					b, fence.Count, blockInfo.TupleCount)
+			}
+			for _, probe := range []struct {
+				idx  int
+				want relation.Tuple
+			}{{0, fence.First}, {fence.Count - 1, fence.Last}} {
+				tu, err := core.DecodeTupleAt(info.Schema, stream, probe.idx)
+				if err != nil {
+					return info, fmt.Errorf("relfile: block %d: %w", b, err)
+				}
+				if info.Schema.Compare(tu, probe.want) != 0 {
+					return info, fmt.Errorf("relfile: block %d fence disagrees with tuple %d", b, probe.idx)
+				}
+			}
+			info.Fences = append(info.Fences, fence)
+		}
+		info.Anchors = append(info.Anchors, blockInfo.RepIndex)
 		info.Tuples += blockInfo.TupleCount
 		info.StreamBytes += len(stream)
 	}

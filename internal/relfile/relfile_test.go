@@ -1,7 +1,9 @@
 package relfile
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -142,6 +144,140 @@ func TestInspectCompressed(t *testing.T) {
 	}
 	if info.StreamBytes != wrote.StreamBytes {
 		t.Fatalf("stream bytes %d != %d", info.StreamBytes, wrote.StreamBytes)
+	}
+}
+
+// writeCompressedV1 emits the legacy fence-less format so the readers'
+// backward compatibility stays under test.
+func writeCompressedV1(t *testing.T, s *relation.Schema, tuples []relation.Tuple, codec core.Codec, blockSize int) []byte {
+	t.Helper()
+	sorted := make([]relation.Tuple, len(tuples))
+	copy(sorted, tuples)
+	s.SortTuples(sorted)
+	var raw bytes.Buffer
+	bw := bufio.NewWriter(&raw)
+	if _, err := bw.Write(magicCompressed); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSchema(bw, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeUvarint(bw, uint64(blockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteByte(byte(codec)); err != nil {
+		t.Fatal(err)
+	}
+	var streams [][]byte
+	remaining := sorted
+	for len(remaining) > 0 {
+		u, err := core.MaxFit(codec, s, remaining, blockSize)
+		if err != nil || u == 0 {
+			t.Fatalf("MaxFit: u=%d err=%v", u, err)
+		}
+		stream, err := core.EncodeBlock(codec, s, remaining[:u], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, stream)
+		remaining = remaining[u:]
+	}
+	if err := writeUvarint(bw, uint64(len(streams))); err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range streams {
+		if err := writeUvarint(bw, uint64(len(stream))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bw.Write(stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return raw.Bytes()
+}
+
+func TestCompressedV1BackwardCompat(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 800, 11)
+	data := writeCompressedV1(t, s, tuples, core.CodecAVQ, 1024)
+	info, err := InspectCompressed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Tuples != len(tuples) {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Fences) != 0 {
+		t.Fatalf("v1 file produced %d fences", len(info.Fences))
+	}
+	_, got, err := ReadCompressed(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]relation.Tuple, len(tuples))
+	copy(want, tuples)
+	s.SortTuples(want)
+	for i := range want {
+		if s.Compare(want[i], got[i]) != 0 {
+			t.Fatalf("tuple %d mismatch", i)
+		}
+	}
+}
+
+func TestCompressedFences(t *testing.T) {
+	s := testSchema(t)
+	tuples := randomTuples(t, 1500, 12)
+	var buf bytes.Buffer
+	wrote, err := WriteCompressed(&buf, s, tuples, core.CodecAVQ, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote.Version != 2 || len(wrote.Fences) != wrote.Blocks {
+		t.Fatalf("wrote = %+v", wrote)
+	}
+	info, err := InspectCompressed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || len(info.Fences) != info.Blocks || len(info.Anchors) != info.Blocks {
+		t.Fatalf("info = %+v", info)
+	}
+	total := 0
+	for i, f := range info.Fences {
+		total += f.Count
+		if s.Compare(f.First, f.Last) > 0 {
+			t.Fatalf("fence %d out of phi order", i)
+		}
+		if i > 0 && s.Compare(info.Fences[i-1].Last, f.First) > 0 {
+			t.Fatalf("fence %d overlaps predecessor", i)
+		}
+		if info.Anchors[i] < 0 || info.Anchors[i] >= f.Count {
+			t.Fatalf("anchor %d = %d out of [0,%d)", i, info.Anchors[i], f.Count)
+		}
+	}
+	if total != len(tuples) {
+		t.Fatalf("fences cover %d tuples, want %d", total, len(tuples))
+	}
+	// A fence that disagrees with its block must be rejected. The first
+	// fence starts right after magic+schema+blocksize+codec+blockcount;
+	// corrupt its count byte.
+	uvLen := func(v uint64) int {
+		var b [binary.MaxVarintLen64]byte
+		return binary.PutUvarint(b[:], v)
+	}
+	blob := s.AppendBinary(nil)
+	hdr := len(magicCompressed) + uvLen(uint64(len(blob))) + len(blob) +
+		uvLen(1024) + 1 + uvLen(uint64(info.Blocks))
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[hdr] ^= 0x01
+	if _, err := InspectCompressed(bytes.NewReader(bad)); err == nil {
+		t.Fatal("tampered fence count accepted by inspect")
+	}
+	if _, _, err := ReadCompressed(bytes.NewReader(bad)); err == nil {
+		t.Fatal("tampered fence count accepted by read")
 	}
 }
 

@@ -3,8 +3,8 @@ package table
 import (
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
-	"repro/internal/storage"
 )
 
 // Cursor is a pull iterator over the table in phi order, decoding one
@@ -12,86 +12,42 @@ import (
 // arbitrarily large tables run in constant memory — the property block-
 // local coding (Section 3.3) exists to provide.
 //
-// A cursor is a snapshot of the block list at creation; mutating the table
-// invalidates it.
+// A cursor reads a pinned snapshot of the block layout: mutating the
+// table does not disturb it, and pages it references are not recycled
+// until it is exhausted or Closed. Abandoning a cursor mid-iteration
+// without Close keeps those pages parked.
 type Cursor struct {
-	t        *Table
-	blocks   []storage.PageID
-	blockIdx int
-	current  []relation.Tuple
-	pos      int
-	done     bool
+	t  *Table
+	it *exec.Iterator
 }
 
 // NewCursor returns a cursor positioned before the first tuple.
 func (t *Table) NewCursor() *Cursor {
-	return &Cursor{t: t, blocks: t.store.Blocks()}
+	return &Cursor{t: t, it: exec.NewIterator(t.store.Snapshot())}
 }
 
 // Seek positions the cursor so the following Next returns the first tuple
-// >= target in phi order, using the primary index to skip ahead of it.
+// >= target in phi order, binary-searching the φ-fences to skip ahead.
 func (c *Cursor) Seek(target relation.Tuple) error {
 	if err := c.t.schema.ValidateTuple(target); err != nil {
 		return err
 	}
-	c.done = false
-	c.current = nil
-	c.pos = 0
-	key := c.t.schema.EncodeTuple(nil, target)
-	_, page, ok := c.t.primary.SeekFloor(key)
-	if !ok {
-		// Everything is >= target (or the table is empty): start at the top.
-		c.blockIdx = 0
-		return nil
-	}
-	for i, id := range c.blocks {
-		if id == page {
-			c.blockIdx = i
-			break
-		}
-	}
-	ts, err := c.t.store.ReadBlock(page)
-	if err != nil {
-		return err
-	}
-	c.current = ts
-	c.blockIdx++ // next block fill continues after this one
-	// Skip within the block to the first tuple >= target.
-	lo, hi := 0, len(ts)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.t.schema.Compare(ts[mid], target) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	c.pos = lo
-	return nil
+	return c.it.Seek(target)
 }
 
-// Next returns the next tuple, or ok=false at the end.
+// Next returns the next tuple, or ok=false at the end. Exhausting the
+// cursor releases its snapshot.
 func (c *Cursor) Next() (relation.Tuple, bool, error) {
-	if c.done {
-		return nil, false, nil
+	tu, ok, err := c.it.Next()
+	if !ok && err == nil {
+		c.it.Release()
 	}
-	for c.pos >= len(c.current) {
-		if c.blockIdx >= len(c.blocks) {
-			c.done = true
-			return nil, false, nil
-		}
-		ts, err := c.t.store.ReadBlock(c.blocks[c.blockIdx])
-		if err != nil {
-			return nil, false, err
-		}
-		c.blockIdx++
-		c.current = ts
-		c.pos = 0
-	}
-	tu := c.current[c.pos]
-	c.pos++
-	return tu, true, nil
+	return tu, ok, err
 }
+
+// Close releases the cursor's snapshot early; it is idempotent and safe
+// after exhaustion.
+func (c *Cursor) Close() { c.it.Release() }
 
 // GroupResult is one group of GroupBy: the grouping value and the
 // aggregates of aggAttr within it.
@@ -102,17 +58,30 @@ type GroupResult struct {
 
 // GroupBy computes per-group COUNT/SUM/MIN/MAX of aggAttr, grouped by the
 // values of groupAttr, over the rows matching lo <= A_filterAttr <= hi.
-// Groups are returned in ascending group-value order. Grouping by the
-// clustering attribute streams in one pass without a hash table.
+// Groups are returned in ascending group-value order.
 func (t *Table) GroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	r, err := t.planGroupBy(filterAttr, lo, hi, groupAttr, aggAttr)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return groupByRun(r, groupAttr, aggAttr)
+}
+
+// planGroupBy validates the grouping attributes and plans the filter pass.
+func (t *Table) planGroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) (queryRun, error) {
 	if groupAttr < 0 || groupAttr >= t.schema.NumAttrs() {
-		return nil, QueryStats{}, errInto("group attribute out of range")
+		return queryRun{}, errInto("group attribute out of range")
 	}
 	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
-		return nil, QueryStats{}, errInto("aggregate attribute out of range")
+		return queryRun{}, errInto("aggregate attribute out of range")
 	}
+	return t.planRange(filterAttr, lo, hi)
+}
+
+// groupByRun executes a planned GroupBy pass: stream, bucket, sort.
+func groupByRun(r queryRun, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
 	groups := make(map[uint64]*AggregateResult)
-	stats, err := t.selectRangeFunc(filterAttr, lo, hi, func(tu relation.Tuple) bool {
+	stats, err := r.run(func(tu relation.Tuple) bool {
 		g := groups[tu[groupAttr]]
 		if g == nil {
 			g = &AggregateResult{Min: ^uint64(0)}

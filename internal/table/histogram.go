@@ -102,6 +102,35 @@ func (t *Table) histRemove(tu relation.Tuple) {
 	}
 }
 
+// Histogram computes an exact equi-width value histogram of one
+// attribute by streaming the table through the executor — the measured
+// counterpart of the planner's incrementally maintained estimate. It
+// returns one count per bucket; the last bucket absorbs the domain
+// remainder when the domain does not divide evenly.
+func (t *Table) Histogram(attr, buckets int) ([]int, QueryStats, error) {
+	if attr < 0 || attr >= t.schema.NumAttrs() {
+		return nil, QueryStats{}, fmt.Errorf("table: attribute %d out of range", attr)
+	}
+	if buckets <= 0 {
+		return nil, QueryStats{}, fmt.Errorf("table: histogram needs a positive bucket count")
+	}
+	domain := t.schema.Domain(attr).Size
+	if uint64(buckets) > domain {
+		buckets = int(domain)
+	}
+	width := (domain + uint64(buckets) - 1) / uint64(buckets)
+	counts := make([]int, buckets)
+	stats, err := t.planScan().run(func(tu relation.Tuple) bool {
+		b := int(tu[attr] / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+		return true
+	})
+	return counts, stats, err
+}
+
 // EstimateSelectivity returns the estimated fraction of rows a predicate
 // admits, from the attribute's histogram.
 func (t *Table) EstimateSelectivity(p Predicate) (float64, error) {

@@ -3,8 +3,8 @@ package table
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
-	"repro/internal/storage"
 )
 
 // JoinRow is one result of an equi-join: the matching tuple from each side.
@@ -13,19 +13,22 @@ type JoinRow struct {
 	Right relation.Tuple
 }
 
-// JoinStats reports the cost of a join: blocks read on each side.
+// JoinStats reports the cost of a join: blocks read on each side, with
+// decoded-block cache hits split out the same way QueryStats splits them.
 type JoinStats struct {
-	LeftBlocks  int
-	RightBlocks int
-	Matches     int
+	LeftBlocks     int
+	RightBlocks    int
+	LeftCacheHits  int
+	RightCacheHits int
+	Matches        int
 }
 
 // HashJoin computes the equi-join left ⋈_{A_lattr = A_rattr} right with a
 // classic in-memory hash join: the smaller relation is built into a hash
-// table on its join attribute, the larger is streamed block by block.
-// Because AVQ blocks decode independently, the probe side never needs more
-// than one decoded block in memory — the locality property Section 3.3 is
-// designed for.
+// table on its join attribute, the larger is streamed block by block
+// through the executor. Because AVQ blocks decode independently, the
+// probe side never needs more than one decoded block in memory — the
+// locality property Section 3.3 is designed for.
 func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error) {
 	if lattr < 0 || lattr >= left.schema.NumAttrs() {
 		return nil, JoinStats{}, fmt.Errorf("table: join attribute %d out of range for left", lattr)
@@ -43,37 +46,37 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 		battr, pattr = rattr, lattr
 	}
 	ht := make(map[uint64][]relation.Tuple)
-	buildBlocks := 0
-	if err := build.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
-		buildBlocks++
-		for _, tu := range ts {
-			ht[tu[battr]] = append(ht[tu[battr]], tu)
-		}
+	buildSnap := build.store.Snapshot()
+	buildStats, err := exec.Run(buildSnap, exec.Plan{}, func(tu relation.Tuple) bool {
+		ht[tu[battr]] = append(ht[tu[battr]], tu)
 		return true
-	}); err != nil {
+	})
+	buildSnap.Release()
+	if err != nil {
 		return nil, stats, err
 	}
 	var out []JoinRow
-	probeBlocks := 0
-	if err := probe.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
-		probeBlocks++
-		for _, tu := range ts {
-			for _, match := range ht[tu[pattr]] {
-				if buildLeft {
-					out = append(out, JoinRow{Left: match, Right: tu})
-				} else {
-					out = append(out, JoinRow{Left: tu, Right: match})
-				}
+	probeSnap := probe.store.Snapshot()
+	probeStats, err := exec.Run(probeSnap, exec.Plan{}, func(tu relation.Tuple) bool {
+		for _, match := range ht[tu[pattr]] {
+			if buildLeft {
+				out = append(out, JoinRow{Left: match, Right: tu})
+			} else {
+				out = append(out, JoinRow{Left: tu, Right: match})
 			}
 		}
 		return true
-	}); err != nil {
+	})
+	probeSnap.Release()
+	if err != nil {
 		return nil, stats, err
 	}
 	if buildLeft {
-		stats.LeftBlocks, stats.RightBlocks = buildBlocks, probeBlocks
+		stats.LeftBlocks, stats.RightBlocks = buildStats.BlocksRead, probeStats.BlocksRead
+		stats.LeftCacheHits, stats.RightCacheHits = buildStats.CacheHits, probeStats.CacheHits
 	} else {
-		stats.LeftBlocks, stats.RightBlocks = probeBlocks, buildBlocks
+		stats.LeftBlocks, stats.RightBlocks = probeStats.BlocksRead, buildStats.BlocksRead
+		stats.LeftCacheHits, stats.RightCacheHits = probeStats.CacheHits, buildStats.CacheHits
 	}
 	stats.Matches = len(out)
 	return out, stats, nil
@@ -86,8 +89,10 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 // build table.
 func MergeJoin(left, right *Table) ([]JoinRow, JoinStats, error) {
 	var stats JoinStats
-	lc := newClusterCursor(left, &stats.LeftBlocks)
-	rc := newClusterCursor(right, &stats.RightBlocks)
+	lc := newClusterCursor(left)
+	defer lc.close()
+	rc := newClusterCursor(right)
+	defer rc.close()
 	var out []JoinRow
 	lg, err := lc.nextGroup()
 	if err != nil {
@@ -121,20 +126,19 @@ func MergeJoin(left, right *Table) ([]JoinRow, JoinStats, error) {
 			}
 		}
 	}
+	stats.LeftBlocks = lc.it.Stats.BlocksRead
+	stats.LeftCacheHits = lc.it.Stats.CacheHits
+	stats.RightBlocks = rc.it.Stats.BlocksRead
+	stats.RightCacheHits = rc.it.Stats.CacheHits
 	stats.Matches = len(out)
 	return out, stats, nil
 }
 
 // clusterCursor streams a table's tuples grouped by their clustering
-// attribute value, decoding one block at a time.
+// attribute value, one executor iterator underneath.
 type clusterCursor struct {
-	t          *Table
-	blocks     []storage.PageID
-	blockIdx   int
-	current    []relation.Tuple
-	pos        int
-	pending    relation.Tuple // pushed back by nextGroup
-	blocksRead *int
+	it      *exec.Iterator
+	pending relation.Tuple // pushed back by nextGroup
 }
 
 type keyGroup struct {
@@ -142,9 +146,11 @@ type keyGroup struct {
 	rows []relation.Tuple
 }
 
-func newClusterCursor(t *Table, blocksRead *int) *clusterCursor {
-	return &clusterCursor{t: t, blocks: t.store.Blocks(), blocksRead: blocksRead}
+func newClusterCursor(t *Table) *clusterCursor {
+	return &clusterCursor{it: exec.NewIterator(t.store.Snapshot())}
 }
+
+func (c *clusterCursor) close() { c.it.Release() }
 
 // next returns the next tuple in phi order, or nil at the end.
 func (c *clusterCursor) next() (relation.Tuple, error) {
@@ -153,21 +159,10 @@ func (c *clusterCursor) next() (relation.Tuple, error) {
 		c.pending = nil
 		return tu, nil
 	}
-	for c.pos >= len(c.current) {
-		if c.blockIdx >= len(c.blocks) {
-			return nil, nil
-		}
-		ts, err := c.t.store.ReadBlock(c.blocks[c.blockIdx])
-		if err != nil {
-			return nil, err
-		}
-		*c.blocksRead++
-		c.blockIdx++
-		c.current = ts
-		c.pos = 0
+	tu, ok, err := c.it.Next()
+	if err != nil || !ok {
+		return nil, err
 	}
-	tu := c.current[c.pos]
-	c.pos++
 	return tu, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/storage"
@@ -358,8 +359,11 @@ func Open(path string, opts Options) (*Table, error) {
 		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, err
 	}
-	// Rebuild the in-memory indexes from the data blocks.
+	// Rebuild the in-memory indexes from the data blocks, capturing each
+	// block's φ-fence as it streams by so the executor can prune without a
+	// second decode pass.
 	count := 0
+	fences := make([]blockstore.Fence, 0, len(best.blocks))
 	if err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
 		t.primary.Insert(t.schema.EncodeTuple(nil, ts[0]), id)
 		if len(t.secondary) > 0 {
@@ -368,9 +372,18 @@ func Open(path string, opts Options) (*Table, error) {
 		for _, tu := range ts {
 			t.histAdd(tu)
 		}
+		fences = append(fences, blockstore.Fence{
+			First: ts[0].Clone(),
+			Last:  ts[len(ts)-1].Clone(),
+			Count: len(ts),
+		})
 		count += len(ts)
 		return true
 	}); err != nil {
+		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+		return nil, err
+	}
+	if err := t.store.AdoptFences(fences); err != nil {
 		t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, err
 	}

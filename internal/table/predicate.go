@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
 )
 
@@ -43,44 +44,65 @@ func (p Predicate) selectivity(s *relation.Schema) float64 {
 
 // Select executes a conjunction of range predicates. The most selective
 // predicate with an access path (the clustering attribute or a secondary
-// index) drives block retrieval; the remaining predicates filter. With no
-// usable predicate the table is scanned.
+// index) drives block retrieval; the whole conjunction is pushed into the
+// executor, which filters while it streams. With no usable predicate the
+// table is scanned.
 func (t *Table) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
+	r, err := t.planSelect(preds)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	var out []relation.Tuple
+	stats, err := r.run(func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
+}
+
+// planSelect plans a conjunctive selection: the most selective predicate
+// with an access path chooses the strategy (and, for a secondary index,
+// the candidate blocks); every conjunct goes into the executor plan, so a
+// predicate on the clustering attribute prunes blocks by φ-fence even
+// when a secondary predicate drives.
+func (t *Table) planSelect(preds []Predicate) (queryRun, error) {
 	if len(preds) == 0 {
-		var out []relation.Tuple
-		stats, err := t.selectScan(0, 0, math.MaxUint64, func(tu relation.Tuple) bool {
-			out = append(out, tu)
-			return true
-		})
-		return out, stats, err
+		return t.planScan(), nil
 	}
 	for _, p := range preds {
 		if p.Attr < 0 || p.Attr >= t.schema.NumAttrs() {
-			return nil, QueryStats{}, fmt.Errorf("table: attribute %d out of range", p.Attr)
+			return queryRun{}, fmt.Errorf("table: attribute %d out of range", p.Attr)
 		}
 	}
-	driver := t.pickDriver(preds)
-	rest := make([]Predicate, 0, len(preds)-1)
-	for i, p := range preds {
-		if i != driver {
-			rest = append(rest, p)
-		}
+	driver := preds[t.pickDriver(preds)]
+	if driver.Lo > driver.Hi || driver.Lo >= t.schema.Domain(driver.Attr).Size || t.size == 0 {
+		return queryRun{empty: true}, nil
 	}
-	var out []relation.Tuple
-	stats, err := t.selectRangeFunc(preds[driver].Attr, preds[driver].Lo, preds[driver].Hi,
-		func(tu relation.Tuple) bool {
-			for _, p := range rest {
-				if !p.matches(tu) {
-					return true
-				}
+	if driver.Hi >= t.schema.Domain(driver.Attr).Size {
+		driver.Hi = t.schema.Domain(driver.Attr).Size - 1
+	}
+	r := queryRun{}
+	for _, p := range preds {
+		hi := p.Hi
+		if hi >= t.schema.Domain(p.Attr).Size {
+			hi = t.schema.Domain(p.Attr).Size - 1
+		}
+		r.plan.Preds = append(r.plan.Preds, exec.Pred{Attr: p.Attr, Lo: p.Lo, Hi: hi})
+	}
+	switch {
+	case driver.Attr == 0:
+		r.stats.Strategy = StrategyClustered
+	default:
+		r.stats.Strategy = StrategyFullScan
+		if idx, ok := t.secondary[driver.Attr]; ok {
+			if pages, ok := t.candidateBlocks(idx, driver.Attr, driver.Lo, driver.Hi); ok {
+				r.stats.Strategy = StrategySecondary
+				r.plan.Candidates = pages
 			}
-			out = append(out, tu)
-			return true
-		})
-	// Matches counted by the driver include rows the residual predicates
-	// rejected; report the final count.
-	stats.Matches = len(out)
-	return out, stats, err
+		}
+	}
+	r.snap = t.store.Snapshot()
+	return r, nil
 }
 
 // pickDriver chooses the predicate to drive retrieval: the most selective
@@ -148,11 +170,25 @@ type AggregateResult struct {
 // over the rows matching lo <= A_attr <= hi. Min and Max are meaningful
 // only when Count > 0.
 func (t *Table) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
-	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
-		return AggregateResult{}, QueryStats{}, fmt.Errorf("table: aggregate attribute %d out of range", aggAttr)
+	r, err := t.planAggregate(attr, lo, hi, aggAttr)
+	if err != nil {
+		return AggregateResult{}, QueryStats{}, err
 	}
+	return aggregateRun(r, aggAttr)
+}
+
+// planAggregate validates the aggregate attribute and plans the filter pass.
+func (t *Table) planAggregate(attr int, lo, hi uint64, aggAttr int) (queryRun, error) {
+	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
+		return queryRun{}, fmt.Errorf("table: aggregate attribute %d out of range", aggAttr)
+	}
+	return t.planRange(attr, lo, hi)
+}
+
+// aggregateRun executes a planned aggregate pass without materializing rows.
+func aggregateRun(r queryRun, aggAttr int) (AggregateResult, QueryStats, error) {
 	res := AggregateResult{Min: math.MaxUint64}
-	stats, err := t.selectRangeFunc(attr, lo, hi, func(tu relation.Tuple) bool {
+	stats, err := r.run(func(tu relation.Tuple) bool {
 		v := tu[aggAttr]
 		res.Count++
 		res.Sum += v

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/blockstore"
+	"repro/internal/exec"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -12,9 +14,9 @@ import (
 type Strategy uint8
 
 const (
-	// StrategyClustered scans the contiguous run of blocks bounded through
-	// the primary index: the plan for predicates on the clustering prefix
-	// attribute.
+	// StrategyClustered scans the contiguous run of blocks whose φ-fences
+	// intersect the predicate range: the plan for predicates on the
+	// clustering prefix attribute.
 	StrategyClustered Strategy = iota
 	// StrategySecondary collects candidate blocks from a secondary index's
 	// buckets and reads each once (Figure 4.5). B+ tree indexes enumerate
@@ -44,11 +46,47 @@ func (s Strategy) String() string {
 const hashEnumLimit = 1024
 
 // QueryStats reports what a selection cost. BlocksRead is the paper's N
-// (Section 5.3.3): the number of data blocks brought into memory.
+// (Section 5.3.3): the number of data blocks brought into memory. Blocks
+// served by the decoded-block cache are counted in CacheHits instead, so
+// N stays an I/O count; BlocksPruned counts blocks the executor skipped
+// on their φ-fence alone, and PartialDecodes counts boundary blocks where
+// only the qualifying span was decoded.
 type QueryStats struct {
-	Strategy   Strategy
-	BlocksRead int
-	Matches    int
+	Strategy       Strategy
+	BlocksRead     int
+	CacheHits      int
+	BlocksPruned   int
+	PartialDecodes int
+	Matches        int
+}
+
+// queryRun is a planned read pass. Planning — predicate validation,
+// access-path choice, index consultation — happens against the live
+// table (under the table lock when wrapped in Sync); run executes against
+// the pinned snapshot and needs no lock, so readers stream while writers
+// mutate.
+type queryRun struct {
+	stats QueryStats
+	plan  exec.Plan
+	snap  *blockstore.Snapshot
+	empty bool
+}
+
+// run executes the planned pass through the executor, releases the
+// snapshot, and folds the executor's accounting into QueryStats.
+func (r queryRun) run(emit func(relation.Tuple) bool) (QueryStats, error) {
+	if r.empty {
+		return r.stats, nil
+	}
+	defer r.snap.Release()
+	es, err := exec.Run(r.snap, r.plan, emit)
+	st := r.stats
+	st.BlocksRead = es.BlocksRead
+	st.CacheHits = es.CacheHits
+	st.BlocksPruned = es.BlocksPruned
+	st.PartialDecodes = es.PartialDecodes
+	st.Matches = es.Matches
+	return st, err
 }
 
 // SelectRange executes the paper's evaluation query sigma_{lo <= A_attr <=
@@ -70,78 +108,52 @@ func (t *Table) SelectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tupl
 	return t.selectRangeFunc(attr, lo, hi, emit)
 }
 
-// selectRangeFunc validates the predicate, picks the access path, and
-// streams matches. The access path is chosen as a real system would:
-// predicates on the clustering prefix (attribute 0) bound a contiguous
-// block range through the primary index; other attributes use their
-// secondary index when one exists; otherwise the table is scanned.
+// selectRangeFunc plans the range pass and runs it through the executor.
 func (t *Table) selectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
-	if attr < 0 || attr >= t.schema.NumAttrs() {
-		return QueryStats{}, fmt.Errorf("table: attribute %d out of range", attr)
+	r, err := t.planRange(attr, lo, hi)
+	if err != nil {
+		return QueryStats{}, err
 	}
-	if lo > hi || lo >= t.schema.Domain(attr).Size {
-		return QueryStats{}, nil
+	return r.run(emit)
+}
+
+// planRange validates the predicate and picks the access path, as a real
+// system would: predicates on the clustering prefix (attribute 0) bound a
+// contiguous block range through the φ-fences; other attributes use their
+// secondary index when one exists; otherwise the table is scanned.
+func (t *Table) planRange(attr int, lo, hi uint64) (queryRun, error) {
+	if attr < 0 || attr >= t.schema.NumAttrs() {
+		return queryRun{}, fmt.Errorf("table: attribute %d out of range", attr)
+	}
+	if lo > hi || lo >= t.schema.Domain(attr).Size || t.size == 0 {
+		return queryRun{empty: true}, nil
 	}
 	if hi >= t.schema.Domain(attr).Size {
 		hi = t.schema.Domain(attr).Size - 1
 	}
-	if t.size == 0 {
-		return QueryStats{}, nil
-	}
-	if attr == 0 {
-		return t.selectClustered(lo, hi, emit)
-	}
-	if idx, ok := t.secondary[attr]; ok {
-		if pages, ok := t.candidateBlocks(idx, attr, lo, hi); ok {
-			return t.readCandidates(pages, attr, lo, hi, emit)
-		}
-	}
-	return t.selectScan(attr, lo, hi, emit)
-}
-
-// selectClustered streams from the contiguous blocks that can hold tuples
-// whose clustering attribute lies in [lo, hi].
-func (t *Table) selectClustered(lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
-	stats := QueryStats{Strategy: StrategyClustered}
-	// The lowest possible qualifying tuple is <lo, 0, ..., 0>.
-	loTuple := make(relation.Tuple, t.schema.NumAttrs())
-	loTuple[0] = lo
-	key := t.schema.EncodeTuple(nil, loTuple)
-	var start storage.PageID
-	if _, page, ok := t.primary.SeekFloor(key); ok {
-		start = page
-	} else if _, page, ok := t.primary.Min(); ok {
-		start = page
-	} else {
-		return stats, nil
-	}
-	id := start
-	for {
-		ts, err := t.store.ReadBlock(id)
-		if err != nil {
-			return stats, err
-		}
-		stats.BlocksRead++
-		for _, tu := range ts {
-			if tu[0] >= lo && tu[0] <= hi {
-				stats.Matches++
-				if !emit(tu) {
-					return stats, nil
-				}
+	r := queryRun{plan: exec.Plan{Preds: []exec.Pred{{Attr: attr, Lo: lo, Hi: hi}}}}
+	switch {
+	case attr == 0:
+		r.stats.Strategy = StrategyClustered
+	default:
+		r.stats.Strategy = StrategyFullScan
+		if idx, ok := t.secondary[attr]; ok {
+			if pages, ok := t.candidateBlocks(idx, attr, lo, hi); ok {
+				r.stats.Strategy = StrategySecondary
+				r.plan.Candidates = pages
 			}
 		}
-		// Stop when the block starts beyond the range: every later block
-		// is larger still.
-		if ts[0][0] > hi {
-			break
-		}
-		next, ok := t.store.NextBlock(id)
-		if !ok {
-			break
-		}
-		id = next
 	}
-	return stats, nil
+	r.snap = t.store.Snapshot()
+	return r, nil
+}
+
+// planScan plans an unconditional pass over every block.
+func (t *Table) planScan() queryRun {
+	return queryRun{
+		stats: QueryStats{Strategy: StrategyFullScan},
+		snap:  t.store.Snapshot(),
+	}
 }
 
 // candidateBlocks collects the distinct data blocks a secondary index maps
@@ -176,48 +188,6 @@ func (t *Table) candidateBlocks(idx secIndex, attr int, lo, hi uint64) (map[stor
 		}
 	}
 	return pageSet, true
-}
-
-// readCandidates reads candidate blocks in clustered order and filters.
-func (t *Table) readCandidates(pageSet map[storage.PageID]struct{}, attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
-	stats := QueryStats{Strategy: StrategySecondary}
-	for _, id := range t.store.Blocks() {
-		if _, ok := pageSet[id]; !ok {
-			continue
-		}
-		ts, err := t.store.ReadBlock(id)
-		if err != nil {
-			return stats, err
-		}
-		stats.BlocksRead++
-		for _, tu := range ts {
-			if tu[attr] >= lo && tu[attr] <= hi {
-				stats.Matches++
-				if !emit(tu) {
-					return stats, nil
-				}
-			}
-		}
-	}
-	return stats, nil
-}
-
-// selectScan streams from every block.
-func (t *Table) selectScan(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
-	stats := QueryStats{Strategy: StrategyFullScan}
-	err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
-		stats.BlocksRead++
-		for _, tu := range ts {
-			if tu[attr] >= lo && tu[attr] <= hi {
-				stats.Matches++
-				if !emit(tu) {
-					return false
-				}
-			}
-		}
-		return true
-	})
-	return stats, err
 }
 
 // SelectPoint executes sigma_{A_attr = v}(R).

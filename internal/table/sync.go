@@ -6,12 +6,15 @@ import (
 	"repro/internal/relation"
 )
 
-// Sync wraps a Table for concurrent use: queries take a shared lock and
-// run in parallel; mutations take an exclusive lock. The underlying table
-// must not be used directly while wrapped.
+// Sync wraps a Table for concurrent use. Mutations take an exclusive
+// lock; queries hold a shared lock only while *planning* (validating the
+// predicate, consulting the histograms and secondary indexes, and pinning
+// a blockstore snapshot) and then execute lock-free against the snapshot.
+// A long range scan therefore streams its pre-mutation view while inserts
+// and deletes rewrite blocks underneath it — neither waits for the other,
+// which is the paper's localized-access property made concurrent.
 //
-// Note the buffer pool underneath is itself thread-safe, so concurrent
-// readers genuinely share cached blocks.
+// The underlying table must not be used directly while wrapped.
 type Sync struct {
 	mu sync.RWMutex
 	t  *Table
@@ -38,35 +41,86 @@ func (s *Sync) NumBlocks() int {
 	return s.t.NumBlocks()
 }
 
-// SelectRange runs sigma_{lo<=A_attr<=hi}(R) under a shared lock.
+// SelectRange runs sigma_{lo<=A_attr<=hi}(R): planned under a shared
+// lock, executed against the pinned snapshot without it.
 func (s *Sync) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.t.SelectRange(attr, lo, hi)
+	r, err := s.t.planRange(attr, lo, hi)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	var out []relation.Tuple
+	stats, err := r.run(func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
 }
 
-// Select runs a conjunction under a shared lock.
+// Select runs a conjunction, planned under a shared lock and executed
+// snapshot-isolated.
 func (s *Sync) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.t.Select(preds)
+	r, err := s.t.planSelect(preds)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	var out []relation.Tuple
+	stats, err := r.run(func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
 }
 
-// CountRange counts matches under a shared lock.
+// CountRange counts matches, snapshot-isolated after planning.
 func (s *Sync) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.t.CountRange(attr, lo, hi)
+	r, err := s.t.planRange(attr, lo, hi)
+	s.mu.RUnlock()
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	stats, err := r.run(func(relation.Tuple) bool { return true })
+	return stats.Matches, stats, err
 }
 
-// AggregateRange aggregates under a shared lock.
+// AggregateRange aggregates, snapshot-isolated after planning.
 func (s *Sync) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.t.AggregateRange(attr, lo, hi, aggAttr)
+	r, err := s.t.planAggregate(attr, lo, hi, aggAttr)
+	s.mu.RUnlock()
+	if err != nil {
+		return AggregateResult{}, QueryStats{}, err
+	}
+	return aggregateRun(r, aggAttr)
 }
 
-// Contains checks membership under a shared lock.
+// GroupBy groups and aggregates, snapshot-isolated after planning.
+func (s *Sync) GroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planGroupBy(filterAttr, lo, hi, groupAttr, aggAttr)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return groupByRun(r, groupAttr, aggAttr)
+}
+
+// Scan streams every tuple in phi order from a snapshot pinned under a
+// shared lock. fn runs without the lock.
+func (s *Sync) Scan(fn func(relation.Tuple) bool) error {
+	s.mu.RLock()
+	r := s.t.planScan()
+	s.mu.RUnlock()
+	_, err := r.run(fn)
+	return err
+}
+
+// Contains checks membership under a shared lock; it probes the primary
+// index, so it cannot release the lock early like the streaming queries.
 func (s *Sync) Contains(tu relation.Tuple) (bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -85,6 +85,120 @@ func TestSyncConcurrentReadersAndWriters(t *testing.T) {
 	}
 }
 
+// TestSyncSnapshotConsistency is the snapshot-isolation stress test: while
+// writers cycle an insert-delete pair and periodically Compact, concurrent
+// readers must always observe a consistent view — exactly N or N+1 tuples,
+// never a torn count — because every query streams a pinned manifest
+// snapshot. The invariant-preserving write pattern makes "torn" decidable:
+// any count outside {N, N+1} means a reader mixed pre- and post-mutation
+// blocks. Run with -race to also verify the locking.
+func TestSyncSnapshotConsistency(t *testing.T) {
+	s := testSchema(t)
+	base, err := Create(s, Options{
+		Codec:          core.CodecAVQ,
+		PageSize:       512,
+		SecondaryAttrs: []int{1},
+		CacheBlocks:    32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1200
+	if err := base.BulkLoad(randomTuples(t, n, 83)); err != nil {
+		t.Fatal(err)
+	}
+	st := NewSync(base)
+
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	// Writer: insert a tuple, then delete the same tuple. Every committed
+	// state holds exactly n or n+1 rows.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		extra := relation.Tuple{3, 7, 31, 31, 2047}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.Insert(extra); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			ok, err := st.Delete(extra)
+			if err != nil || !ok {
+				t.Errorf("delete: ok=%v err=%v", ok, err)
+				return
+			}
+		}
+	}()
+	// Writer: compaction rewrites the whole layout underneath readers.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := st.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	// Readers: counts and group-by totals over the full domain must land
+	// on n or n+1 in every pass.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for i := 0; i < 120; i++ {
+				if rng.Intn(2) == 0 {
+					cnt, _, err := st.CountRange(0, 0, 7)
+					if err != nil {
+						t.Errorf("count: %v", err)
+						return
+					}
+					if cnt != n && cnt != n+1 {
+						t.Errorf("torn view: CountRange saw %d tuples, want %d or %d", cnt, n, n+1)
+						return
+					}
+				} else {
+					groups, _, err := st.GroupBy(0, 0, 7, 1, 2)
+					if err != nil {
+						t.Errorf("groupby: %v", err)
+						return
+					}
+					total := 0
+					for _, g := range groups {
+						total += g.Agg.Count
+					}
+					if total != n && total != n+1 {
+						t.Errorf("torn view: GroupBy saw %d tuples, want %d or %d", total, n, n+1)
+						return
+					}
+				}
+			}
+		}(int64(r))
+	}
+	// Readers run a bounded number of passes; writers loop until the
+	// readers are done.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if err := st.Table().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(); got != n && got != n+1 {
+		t.Fatalf("final size %d", got)
+	}
+}
+
 func TestSyncLifecycle(t *testing.T) {
 	base := newTable(t, core.CodecAVQ, nil)
 	st := NewSync(base)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/hashidx"
 	"repro/internal/relation"
 	"repro/internal/simdisk"
@@ -568,16 +569,13 @@ func (t *Table) Contains(tu relation.Tuple) (bool, error) {
 	return found, err
 }
 
-// Scan visits every tuple in phi order. fn returning false stops the scan.
+// Scan visits every tuple in phi order through the executor, reading a
+// pinned snapshot. fn returning false stops the scan.
 func (t *Table) Scan(fn func(relation.Tuple) bool) error {
-	return t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
-		for _, tu := range ts {
-			if !fn(tu) {
-				return false
-			}
-		}
-		return true
-	})
+	sn := t.store.Snapshot()
+	defer sn.Release()
+	_, err := exec.Run(sn, exec.Plan{}, fn)
+	return err
 }
 
 // CheckInvariants verifies the whole table: store layout, index trees, the
