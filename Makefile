@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint build fmt bench-pruning
+.PHONY: check test race lint build fmt bench-pruning bench-obs
 
 check:
 	sh scripts/check.sh
@@ -16,10 +16,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
-		./internal/blockstore ./internal/extsort ./internal/exec
+		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs
 
 bench-pruning:
 	$(GO) run ./cmd/avqbench -exp pruning
+
+bench-obs:
+	$(GO) run ./cmd/avqbench -exp obs
 
 lint:
 	$(GO) vet ./...

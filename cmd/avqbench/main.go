@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -121,6 +121,17 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 				return err
 			}
 			return writePruningJSON(r)
+		case "obs":
+			r, err := experiments.RunObs(experiments.ObsConfig{
+				Tuples: tuples, PageSize: pageSize, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeObsJSON(r)
 		case "cpusweep":
 			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
@@ -137,7 +148,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs"} {
 		if i > 0 {
 			sep()
 		}
@@ -152,6 +163,22 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 // BENCH_pruning.json in the working directory, for CI trend tracking.
 func writePruningJSON(r *experiments.PruningResult) error {
 	f, err := os.Create("BENCH_pruning.json")
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeObsJSON records the instrumentation-overhead measurement as
+// BENCH_obs.json in the working directory; the acceptance gate reads its
+// pass field.
+func writeObsJSON(r *experiments.ObsResult) error {
+	f, err := os.Create("BENCH_obs.json")
 	if err != nil {
 		return err
 	}

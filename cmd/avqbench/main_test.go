@@ -11,13 +11,16 @@ import (
 // a scratch directory.
 func TestAllExperimentsSmallScale(t *testing.T) {
 	t.Chdir(t.TempDir())
-	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline"} {
+	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "obs"} {
 		if err := run(exp, 2000, 1, 0, 7, 2); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 	if _, err := os.Stat("BENCH_pipeline.json"); err != nil {
 		t.Fatalf("pipeline experiment did not write BENCH_pipeline.json: %v", err)
+	}
+	if _, err := os.Stat("BENCH_obs.json"); err != nil {
+		t.Fatalf("obs experiment did not write BENCH_obs.json: %v", err)
 	}
 }
 

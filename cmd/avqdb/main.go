@@ -13,18 +13,27 @@
 //	avqdb agg     -db file -attr 0 -lo 3 -hi 4 -agg 2
 //	avqdb explain -db file -attr 0 -lo 3 -hi 4
 //	avqdb compact -db file
-//	avqdb stats   -db file
+//	avqdb stats   -db file [-live]
 //	avqdb verify  -db file
+//	avqdb serve   -db file -listen :6060 [-slowms 50]
+//
+// stats -live opens the table instrumented, replays a representative
+// workload, and prints the live metrics registry. serve mounts the opt-in
+// debug endpoint (/metrics, /slowops, /debug/pprof) over an instrumented
+// table; it has no authentication, so bind it to localhost.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relfile"
 	"repro/internal/table"
@@ -50,6 +59,9 @@ func main() {
 		hi        = fs.Uint64("hi", 0, "query/count: upper bound")
 		limit     = fs.Int("limit", 20, "query: max rows to print")
 		aggAttr   = fs.Int("agg", 0, "agg: attribute to aggregate")
+		live      = fs.Bool("live", false, "stats: replay a workload against an instrumented table and print the metrics registry")
+		listen    = fs.String("listen", "localhost:6060", "serve: debug endpoint listen address")
+		slowMs    = fs.Int("slowms", 50, "serve: slow-op log threshold in milliseconds")
 	)
 	fs.Parse(os.Args[2:]) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
 	if *db == "" {
@@ -60,6 +72,7 @@ func main() {
 		db: *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
 		hash: *useHash, in: *in, tuple: *tupleStr,
 		attr: *attr, lo: *lo, hi: *hi, limit: *limit, aggAttr: *aggAttr,
+		live: *live, listen: *listen, slowMs: *slowMs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avqdb:", err)
@@ -69,14 +82,15 @@ func main() {
 
 type args struct {
 	db, schema, codec, index, in, tuple string
-	hash                                bool
+	hash, live                          bool
 	attr, aggAttr                       int
 	lo, hi                              uint64
-	limit                               int
+	limit, slowMs                       int
+	listen                              string
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify -db FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|serve -db FILE [flags]")
 }
 
 func run(cmd string, a args) error {
@@ -101,6 +115,8 @@ func run(cmd string, a args) error {
 		return stats(a)
 	case "verify":
 		return verify(a)
+	case "serve":
+		return serve(a)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -120,7 +136,7 @@ func parseSchema(s string) (*relation.Schema, error) {
 		}
 		size, err := strconv.ParseUint(sizeStr, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("attribute %q: %v", part, err)
+			return nil, fmt.Errorf("attribute %q: %w", part, err)
 		}
 		doms = append(doms, relation.Domain{Name: name, Size: size})
 	}
@@ -137,7 +153,7 @@ func parseTuple(s *relation.Schema, str string) (relation.Tuple, error) {
 	for i, p := range parts {
 		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("value %d: %v", i, err)
+			return nil, fmt.Errorf("value %d: %w", i, err)
 		}
 		tu[i] = v
 	}
@@ -167,7 +183,7 @@ func create(a args) error {
 		for _, p := range strings.Split(a.index, ",") {
 			i, err := strconv.Atoi(strings.TrimSpace(p))
 			if err != nil {
-				return fmt.Errorf("index position %q: %v", p, err)
+				return fmt.Errorf("index position %q: %w", p, err)
 			}
 			secondaries = append(secondaries, i)
 		}
@@ -354,6 +370,9 @@ func explain(a args) error {
 }
 
 func stats(a args) error {
+	if a.live {
+		return statsLive(a)
+	}
 	tb, err := openDB(a)
 	if err != nil {
 		return err
@@ -373,6 +392,64 @@ func stats(a args) error {
 	fmt.Printf("block cache: %d hits, %d misses, %d invalidations, %d entries\n",
 		cs.Hits, cs.Misses, cs.Invalidations, cs.Entries)
 	return nil
+}
+
+// statsLive opens the table instrumented, replays a representative
+// workload (full scan plus a range count and aggregate per attribute), and
+// prints the registry snapshot — counters, gauges, latency histograms, and
+// any ops that crossed the slow threshold.
+func statsLive(a args) error {
+	reg := obs.NewRegistry()
+	tb, err := table.Open(a.db, table.WithObs(reg), table.WithSlowOpThreshold(time.Duration(a.slowMs)*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	if err := replayWorkload(tb); err != nil {
+		return err
+	}
+	fmt.Printf("live metrics for %s (%d tuples, %d blocks):\n", a.db, tb.Len(), tb.NumBlocks())
+	return reg.Snapshot().WriteText(os.Stdout)
+}
+
+// replayWorkload drives every read path once so each instrumented layer
+// has something to report: a full scan, then per-attribute range counts
+// and an aggregate over the lower half of each domain.
+func replayWorkload(tb *table.Table) error {
+	if err := tb.Scan(func(relation.Tuple) bool { return true }); err != nil {
+		return err
+	}
+	s := tb.Schema()
+	for attr := 0; attr < s.NumAttrs(); attr++ {
+		hi := s.Domain(attr).Size / 2
+		if _, _, err := tb.CountRange(attr, 0, hi); err != nil {
+			return err
+		}
+	}
+	if s.NumAttrs() > 1 {
+		if _, _, err := tb.AggregateRange(0, 0, s.Domain(0).Size, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serve mounts the opt-in debug endpoint over an instrumented table. The
+// workload is replayed once at startup so /metrics is not empty; after
+// that the handler serves whatever the registry accumulates.
+func serve(a args) error {
+	reg := obs.NewRegistry()
+	tb, err := table.Open(a.db, table.WithObs(reg), table.WithSlowOpThreshold(time.Duration(a.slowMs)*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	if err := replayWorkload(tb); err != nil {
+		return err
+	}
+	fmt.Printf("serving /metrics, /slowops, /debug/pprof on %s (table %s: %d tuples, %d blocks)\n",
+		a.listen, a.db, tb.Len(), tb.NumBlocks())
+	return http.ListenAndServe(a.listen, obs.Handler(reg))
 }
 
 func verify(a args) error {

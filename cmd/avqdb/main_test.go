@@ -44,6 +44,12 @@ func TestCreateLoadQueryLifecycle(t *testing.T) {
 	if err := run("stats", dbArgs(db)); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
+	live := dbArgs(db)
+	live.live = true
+	live.slowMs = 50
+	if err := run("stats", live); err != nil {
+		t.Fatalf("stats -live: %v", err)
+	}
 	if err := run("verify", dbArgs(db)); err != nil {
 		t.Fatalf("verify: %v", err)
 	}

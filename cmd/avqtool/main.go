@@ -9,11 +9,14 @@
 //	avqtool verify     -in data.avq
 //	avqtool stats      -in data.rel [-blocksize N]
 //	avqtool convert    -in data.csv -out data.rel   (and .rel -> .csv)
+//	avqtool metrics    -in data.rel [-blocksize N] [-json]
 //
 // compress performs the full AVQ pipeline of Section 3: tuple re-ordering,
 // block partitioning, and block coding. verify walks every block checksum
 // and decodes the file end to end. stats prints what each codec would do
-// to the relation without writing anything.
+// to the relation without writing anything. metrics loads the relation
+// into an instrumented in-memory table, replays a query workload, and
+// dumps the observability registry as text or JSON.
 package main
 
 import (
@@ -23,9 +26,11 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relfile"
 	"repro/internal/storage"
+	"repro/internal/table"
 )
 
 func main() {
@@ -40,20 +45,21 @@ func main() {
 		out       = fs.String("out", "", "output file")
 		codecName = fs.String("codec", "avq", "block codec: avq, raw, rep-only, delta-chain")
 		blockSize = fs.Int("blocksize", storage.DefaultPageSize, "block size in bytes")
+		jsonOut   = fs.Bool("json", false, "metrics: emit the registry snapshot as JSON instead of text")
 	)
 	fs.Parse(os.Args[2:]) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "avqtool: -in is required")
 		os.Exit(2)
 	}
-	if err := run(cmd, *in, *out, *codecName, *blockSize); err != nil {
+	if err := run(cmd, *in, *out, *codecName, *blockSize, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "avqtool:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avqtool compress|decompress|inspect|verify|stats|convert -in FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avqtool compress|decompress|inspect|verify|stats|convert|metrics -in FILE [flags]")
 }
 
 func parseCodec(name string) (core.Codec, error) {
@@ -65,7 +71,7 @@ func parseCodec(name string) (core.Codec, error) {
 	return 0, fmt.Errorf("unknown codec %q", name)
 }
 
-func run(cmd, in, out, codecName string, blockSize int) error {
+func run(cmd, in, out, codecName string, blockSize int, jsonOut bool) error {
 	switch cmd {
 	case "compress":
 		return compress(in, out, codecName, blockSize)
@@ -79,6 +85,8 @@ func run(cmd, in, out, codecName string, blockSize int) error {
 		return stats(in, blockSize)
 	case "convert":
 		return convert(in, out)
+	case "metrics":
+		return metrics(in, codecName, blockSize, jsonOut)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -268,6 +276,52 @@ func convert(in, out string) error {
 	}
 	fmt.Printf("%s: %d tuples over inferred schema %s\n", out, len(tuples), schema)
 	return fout.Sync()
+}
+
+// metrics loads a plain relation into an instrumented in-memory table,
+// replays a query workload (full scan plus a range count per attribute),
+// and dumps the observability registry.
+func metrics(in, codecName string, blockSize int, jsonOut bool) error {
+	codec, err := parseCodec(codecName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	schema, tuples, err := relfile.ReadPlain(f)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	tb, err := table.Create(schema,
+		table.WithCodec(codec),
+		table.WithPageSize(blockSize),
+		table.WithObs(reg),
+	)
+	if err != nil {
+		return err
+	}
+	if err := tb.BulkLoad(tuples); err != nil {
+		return err
+	}
+	if err := tb.Scan(func(relation.Tuple) bool { return true }); err != nil {
+		return err
+	}
+	for attr := 0; attr < schema.NumAttrs(); attr++ {
+		if _, _, err := tb.CountRange(attr, 0, schema.Domain(attr).Size/2); err != nil {
+			return err
+		}
+	}
+	snap := reg.Snapshot()
+	if jsonOut {
+		return snap.WriteJSON(os.Stdout)
+	}
+	fmt.Printf("metrics for %s: %d tuples in %d blocks (%s codec, %d-byte blocks)\n",
+		in, tb.Len(), tb.NumBlocks(), codec, blockSize)
+	return snap.WriteText(os.Stdout)
 }
 
 func stats(in string, blockSize int) error {

@@ -34,23 +34,29 @@ func TestCompressDecompressVerifyInspect(t *testing.T) {
 	avq := filepath.Join(dir, "data.avq")
 	back := filepath.Join(dir, "back.rel")
 
-	if err := run("compress", rel, avq, "avq", 2048); err != nil {
+	if err := run("compress", rel, avq, "avq", 2048, false); err != nil {
 		t.Fatalf("compress: %v", err)
 	}
-	if err := run("verify", avq, "", "avq", 2048); err != nil {
+	if err := run("verify", avq, "", "avq", 2048, false); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
-	if err := run("inspect", avq, "", "avq", 2048); err != nil {
+	if err := run("inspect", avq, "", "avq", 2048, false); err != nil {
 		t.Fatalf("inspect compressed: %v", err)
 	}
-	if err := run("inspect", rel, "", "avq", 2048); err != nil {
+	if err := run("inspect", rel, "", "avq", 2048, false); err != nil {
 		t.Fatalf("inspect plain: %v", err)
 	}
-	if err := run("decompress", avq, back, "avq", 2048); err != nil {
+	if err := run("decompress", avq, back, "avq", 2048, false); err != nil {
 		t.Fatalf("decompress: %v", err)
 	}
-	if err := run("stats", rel, "", "avq", 2048); err != nil {
+	if err := run("stats", rel, "", "avq", 2048, false); err != nil {
 		t.Fatalf("stats: %v", err)
+	}
+	if err := run("metrics", rel, "", "avq", 2048, false); err != nil {
+		t.Fatalf("metrics text: %v", err)
+	}
+	if err := run("metrics", rel, "", "avq", 2048, true); err != nil {
+		t.Fatalf("metrics json: %v", err)
 	}
 
 	// The decompressed relation has the same content (phi-sorted).
@@ -86,22 +92,22 @@ func TestCompressDecompressVerifyInspect(t *testing.T) {
 func TestToolErrors(t *testing.T) {
 	dir := t.TempDir()
 	rel := writeRel(t, dir)
-	if err := run("compress", rel, "", "avq", 2048); err == nil {
+	if err := run("compress", rel, "", "avq", 2048, false); err == nil {
 		t.Fatal("compress without -out succeeded")
 	}
-	if err := run("compress", rel, filepath.Join(dir, "x.avq"), "nope", 2048); err == nil {
+	if err := run("compress", rel, filepath.Join(dir, "x.avq"), "nope", 2048, false); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
-	if err := run("decompress", rel, "", "avq", 2048); err == nil {
+	if err := run("decompress", rel, "", "avq", 2048, false); err == nil {
 		t.Fatal("decompress without -out succeeded")
 	}
-	if err := run("verify", rel, "", "avq", 2048); err == nil {
+	if err := run("verify", rel, "", "avq", 2048, false); err == nil {
 		t.Fatal("verify of a plain file succeeded")
 	}
-	if err := run("bogus", rel, "", "avq", 2048); err == nil {
+	if err := run("bogus", rel, "", "avq", 2048, false); err == nil {
 		t.Fatal("unknown command succeeded")
 	}
-	if err := run("inspect", filepath.Join(dir, "missing"), "", "avq", 2048); err == nil {
+	if err := run("inspect", filepath.Join(dir, "missing"), "", "avq", 2048, false); err == nil {
 		t.Fatal("inspect of missing file succeeded")
 	}
 }
@@ -111,10 +117,10 @@ func TestAllCodecsThroughTool(t *testing.T) {
 	rel := writeRel(t, dir)
 	for _, codec := range []string{"raw", "avq", "rep-only", "delta-chain", "packed"} {
 		out := filepath.Join(dir, codec+".avq")
-		if err := run("compress", rel, out, codec, 4096); err != nil {
+		if err := run("compress", rel, out, codec, 4096, false); err != nil {
 			t.Fatalf("%s: compress: %v", codec, err)
 		}
-		if err := run("verify", out, "", codec, 4096); err != nil {
+		if err := run("verify", out, "", codec, 4096, false); err != nil {
 			t.Fatalf("%s: verify: %v", codec, err)
 		}
 	}
@@ -125,10 +131,10 @@ func TestConvertCSVBothWays(t *testing.T) {
 	rel := writeRel(t, dir)
 	csv := filepath.Join(dir, "d.csv")
 	back := filepath.Join(dir, "back.rel")
-	if err := run("convert", rel, csv, "avq", 0); err != nil {
+	if err := run("convert", rel, csv, "avq", 0, false); err != nil {
 		t.Fatalf("rel->csv: %v", err)
 	}
-	if err := run("convert", csv, back, "avq", 0); err != nil {
+	if err := run("convert", csv, back, "avq", 0, false); err != nil {
 		t.Fatalf("csv->rel: %v", err)
 	}
 	// The round-tripped relation has the same tuples (schema may have
@@ -154,7 +160,7 @@ func TestConvertCSVBothWays(t *testing.T) {
 	if len(got) != len(orig) {
 		t.Fatalf("%d tuples, want %d", len(got), len(orig))
 	}
-	if err := run("convert", rel, "", "avq", 0); err == nil {
+	if err := run("convert", rel, "", "avq", 0, false); err == nil {
 		t.Fatal("convert without -out succeeded")
 	}
 }

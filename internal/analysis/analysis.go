@@ -86,6 +86,7 @@ func Registry() []*Analyzer {
 		AnalyzerLockBalance,
 		AnalyzerDroppedErr,
 		AnalyzerOrdWidth,
+		AnalyzerErrWrap,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

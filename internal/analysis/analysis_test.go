@@ -71,6 +71,14 @@ func TestAnalyzersGolden(t *testing.T) {
 			},
 		},
 		{
+			rule: "errwrap",
+			want: []string{
+				`errwrap.go:16:9: fmt.Errorf formats error err without %w; wrap it or annotate the deliberate flattening`,
+				`errwrap.go:21:9: fmt.Errorf formats error err without %w; wrap it or annotate the deliberate flattening`,
+				`errwrap.go:26:9: fmt.Errorf formats error err without %w; wrap it or annotate the deliberate flattening`,
+			},
+		},
+		{
 			rule: "ordwidth",
 			want: []string{
 				`ordwidth.go:7:9: conversion to uint32 narrows 64-bit arithmetic result "a + b" to 32 bits; compute in the narrow type or mask explicitly`,
@@ -132,7 +140,7 @@ func TestSuppression(t *testing.T) {
 
 // TestRegistry checks the full analyzer set is registered and named.
 func TestRegistry(t *testing.T) {
-	want := []string{"droppederr", "framealias", "lockbalance", "ordwidth", "unpinpair"}
+	want := []string{"droppederr", "errwrap", "framealias", "lockbalance", "ordwidth", "unpinpair"}
 	var got []string
 	for _, a := range Registry() {
 		got = append(got, a.Name)

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AnalyzerErrWrap flags fmt.Errorf calls that format an error value
+// without the %w verb. Formatting an error with %v (or %s) flattens it to
+// text: the sentinel identity is lost and callers can no longer dispatch
+// with errors.Is/errors.As on ErrCorruptBlock, ErrSnapshotStale, and
+// friends. Wrapping with %w preserves the chain.
+//
+// Deliberate exclusions, documented here because they are policy:
+//   - calls whose format string is not a literal (the verb cannot be
+//     checked statically);
+//   - calls that already contain at least one %w (a second error arg
+//     rendered with %v next to a wrapped one is a flattening choice, and
+//     multiple %w verbs are legal since Go 1.20);
+//   - deliberate flattening, which must be annotated with
+//     //avqlint:ignore errwrap and a justification (e.g. the error text is
+//     being demoted to context for a different sentinel).
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf over an error value must wrap it with %w, not flatten it with %v",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(pass.Pkg, call) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := literalString(call.Args[0])
+			if !ok || countVerb(format, 'w') > 0 {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := pass.TypeOf(arg)
+				if t != nil && isErrorType(t) {
+					pass.Report(call.Pos(), "fmt.Errorf formats error %s without %%w; wrap it or annotate the deliberate flattening", types.ExprString(arg))
+					return true // one report per call
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isFmtErrorf reports whether call is fmt.Errorf from the standard fmt
+// package.
+func isFmtErrorf(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Errorf" && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+// literalString unquotes a string literal expression, following a single
+// level of string concatenation ("a" + "b").
+func literalString(e ast.Expr) (string, bool) {
+	switch e := unparen(e).(type) {
+	case *ast.BasicLit:
+		if e.Kind.String() != "STRING" {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		if e.Op.String() != "+" {
+			return "", false
+		}
+		l, lok := literalString(e.X)
+		r, rok := literalString(e.Y)
+		return l + r, lok && rok
+	}
+	return "", false
+}
+
+// countVerb counts occurrences of the given format verb, skipping %%
+// escapes and any flags/width between % and the verb letter.
+func countVerb(format string, verb byte) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue // literal percent
+		}
+		// Skip flags, width, precision: anything that is not a letter.
+		for i < len(format) && !isVerbLetter(format[i]) {
+			i++
+		}
+		if i < len(format) && format[i] == verb {
+			n++
+		}
+	}
+	return n
+}
+
+func isVerbLetter(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}

@@ -23,11 +23,13 @@
 package blockstore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -42,6 +44,13 @@ const lenPrefix = 4
 var (
 	ErrTupleTooLarge = errors.New("blockstore: a single tuple does not fit in a page")
 	ErrUnknownBlock  = errors.New("blockstore: page is not a block of this store")
+	// ErrCorruptBlock marks a block whose on-page bytes cannot be decoded:
+	// an impossible stream length, a checksum mismatch, or a malformed
+	// coded stream. It wraps the detailed cause; dispatch with errors.Is.
+	ErrCorruptBlock = errors.New("blockstore: corrupt block")
+	// ErrSnapshotStale is returned by reads through a Snapshot after its
+	// Release: the pages it referenced may already be recycled.
+	ErrSnapshotStale = errors.New("blockstore: snapshot used after release")
 )
 
 // BlockRef describes one data block: its page and its first (smallest)
@@ -76,6 +85,10 @@ type Store struct {
 	// parallel codec pipeline, cache != nil the decoded-block LRU.
 	conc  int
 	cache *blockCache
+
+	// met holds pre-resolved obs instruments (see Configure); the zero
+	// value means observability is off and every instrument no-ops.
+	met storeMetrics
 }
 
 // New creates an empty store over the pool.
@@ -143,7 +156,17 @@ func (s *Store) Restore(blocks []storage.PageID) error {
 // It returns a BlockRef per block, in clustered order. The new layout is
 // published once at the end, so concurrent snapshot readers see either the
 // empty store or the complete load.
+//
+// Deprecated: use BulkLoadContext.
 func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
+	return s.BulkLoadContext(context.Background(), tuples)
+}
+
+// BulkLoadContext is BulkLoad under a context: cancellation is honored at
+// block boundaries, so a cancelled load stops before the next encode with
+// no frames pinned. Pages already written stay tracked by the published
+// partial manifest, so Reset can reclaim them.
+func (s *Store) BulkLoadContext(ctx context.Context, tuples []relation.Tuple) ([]BlockRef, error) {
 	if !s.schema.TuplesSorted(tuples) {
 		return nil, errors.New("blockstore: bulk load input not in phi order")
 	}
@@ -156,13 +179,16 @@ func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 	defer func() { s.man.Store(m) }()
 	if s.parallel() {
 		if z, ok := core.NewSizer(s.codec, s.schema); ok {
-			return s.bulkLoadParallel(m, z, tuples)
+			return s.bulkLoadParallel(ctx, m, z, tuples)
 		}
 		// Non-additive codec (rep-only): fall through to the serial path.
 	}
 	var refs []BlockRef
 	remaining := tuples
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		u, err := core.MaxFit(s.codec, s.schema, remaining, s.capacity())
 		if err != nil {
 			return nil, err
@@ -184,7 +210,17 @@ func (s *Store) BulkLoad(tuples []relation.Tuple) ([]BlockRef, error) {
 // pulls phi-ordered tuples from next (which returns ok=false when dry) and
 // packs blocks incrementally, holding only a small buffering window in
 // memory. Used with the external sorter it loads relations of any size.
+//
+// Deprecated: use BulkLoadStreamContext.
 func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]BlockRef, error) {
+	return s.BulkLoadStreamContext(context.Background(), next)
+}
+
+// BulkLoadStreamContext is BulkLoadStream under a context: cancellation
+// is checked once per window before the next pull-and-pack round, so an
+// abandoned stream load stops without pinned frames; the partial manifest
+// is published for Reset to reclaim.
+func (s *Store) BulkLoadStreamContext(ctx context.Context, next func() (relation.Tuple, bool, error)) ([]BlockRef, error) {
 	if s.NumBlocks() != 0 {
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
@@ -203,6 +239,9 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 	// Enough headroom that MaxFit can always see past one full block.
 	highWater := 4096
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for !dry && len(window) < highWater {
 			tu, ok, err := next()
 			if err != nil {
@@ -222,7 +261,7 @@ func (s *Store) BulkLoadStream(next func() (relation.Tuple, bool, error)) ([]Blo
 			return refs, nil
 		}
 		if sizer != nil {
-			newRefs, tail, grown, err := s.loadWindowParallel(m, sizer, window, dry)
+			newRefs, tail, grown, err := s.loadWindowParallel(ctx, m, sizer, window, dry)
 			if err != nil {
 				return nil, err
 			}
@@ -274,7 +313,7 @@ func (s *Store) appendBlock(m *manifest, tuples []relation.Tuple) (BlockRef, err
 
 // encodeInto codes tuples into the frame's page.
 func (s *Store) encodeInto(frame *buffer.Frame, tuples []relation.Tuple) error {
-	stream, err := core.EncodeBlock(s.codec, s.schema, tuples, nil)
+	stream, err := s.timeEncode(tuples)
 	if err != nil {
 		return err
 	}
@@ -350,11 +389,19 @@ func (s *Store) decodeBlockCachedHit(id storage.PageID) ([]relation.Tuple, bool,
 	data := frame.Data()
 	l := binary.BigEndian.Uint32(data[:lenPrefix])
 	if int(l) > s.capacity() {
-		return nil, false, fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
+		return nil, false, fmt.Errorf("%w: page %d claims stream of %d bytes", ErrCorruptBlock, id, l)
+	}
+	var t0 time.Time
+	if s.met.decodeHist != nil {
+		t0 = time.Now()
 	}
 	tuples, err := core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
+	if s.met.decodeHist != nil {
+		s.met.decodeHist.Observe(time.Since(t0))
+		s.met.decodes.Inc()
+	}
 	if err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w: page %d: %w", ErrCorruptBlock, id, err)
 	}
 	if c := s.cache; c != nil {
 		c.put(id, tuples)
@@ -650,14 +697,26 @@ func (s *Store) NextBlock(id storage.PageID) (storage.PageID, bool) {
 // strictly in clustered order, one at a time. The scan holds a Snapshot
 // for its duration, so it streams a consistent view even while another
 // goroutine mutates the store.
+//
+// Deprecated: use ScanBlocksContext.
 func (s *Store) ScanBlocks(fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
+	return s.ScanBlocksContext(context.Background(), fn)
+}
+
+// ScanBlocksContext is ScanBlocks under a context: cancellation is
+// checked at every block boundary, before the next decode, so an aborted
+// scan returns with no frames pinned.
+func (s *Store) ScanBlocksContext(ctx context.Context, fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
 	sn := s.Snapshot()
 	defer sn.Release()
 	m := sn.m
 	if s.parallel() && len(m.blocks) > 1 {
-		return s.scanBlocksParallel(m, fn)
+		return s.scanBlocksParallel(ctx, m, fn)
 	}
 	for _, id := range m.blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tuples, err := s.decodeBlockCached(id)
 		if err != nil {
 			return err
@@ -730,9 +789,9 @@ func (s *Store) inspectBlock(id storage.PageID) (core.BlockInfo, error) {
 	l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
 	var info core.BlockInfo
 	if l > s.capacity() {
-		err = fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
-	} else {
-		info, err = core.Inspect(data[lenPrefix : lenPrefix+l])
+		err = fmt.Errorf("%w: page %d claims stream of %d bytes", ErrCorruptBlock, id, l)
+	} else if info, err = core.Inspect(data[lenPrefix : lenPrefix+l]); err != nil {
+		err = fmt.Errorf("%w: page %d: %w", ErrCorruptBlock, id, err)
 	}
 	if uerr := s.pool.Unpin(frame); err == nil {
 		err = uerr

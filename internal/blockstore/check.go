@@ -45,7 +45,7 @@ func (s *Store) Check() error {
 		l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
 		var info core.BlockInfo
 		if l > s.capacity() {
-			err = fmt.Errorf("blockstore: block %d header claims %d stream bytes, page capacity is %d", i, l, s.capacity())
+			err = fmt.Errorf("%w: block %d header claims %d stream bytes, page capacity is %d", ErrCorruptBlock, i, l, s.capacity())
 		} else {
 			info, err = core.Inspect(data[lenPrefix : lenPrefix+l])
 		}

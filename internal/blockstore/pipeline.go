@@ -16,10 +16,13 @@
 package blockstore
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -35,11 +38,16 @@ type Config struct {
 	// CacheBlocks is the capacity, in blocks, of the decoded-block LRU
 	// cache consulted by ReadBlock and the scan pipeline. 0 disables it.
 	CacheBlocks int
+	// Obs wires the store's instruments (encode/decode counters and
+	// latencies, snapshot accounting, and the executor's per-pass
+	// counters) into a registry. nil disables instrumentation: the store
+	// then holds nil instruments, whose methods no-op.
+	Obs *obs.Registry
 }
 
-// Configure applies the concurrency configuration. It must not be called
-// while other goroutines use the store. Reconfiguring the cache size
-// discards previously cached blocks.
+// Configure applies the concurrency and observability configuration. It
+// must not be called while other goroutines use the store. Reconfiguring
+// the cache size discards previously cached blocks.
 func (s *Store) Configure(cfg Config) {
 	s.conc = cfg.Concurrency
 	if cfg.CacheBlocks > 0 {
@@ -47,6 +55,63 @@ func (s *Store) Configure(cfg Config) {
 	} else {
 		s.cache = nil
 	}
+	if cfg.Obs != nil {
+		s.met = storeMetrics{
+			encodes:       cfg.Obs.Counter("store.encodes"),
+			decodes:       cfg.Obs.Counter("store.decodes"),
+			encodeHist:    cfg.Obs.Histogram("store.encode"),
+			decodeHist:    cfg.Obs.Histogram("store.decode"),
+			snapshots:     cfg.Obs.Counter("store.snapshots"),
+			snapshotsLive: cfg.Obs.Gauge("store.snapshots_live"),
+			exec: &ExecMetrics{
+				BlocksRead:     cfg.Obs.Counter("exec.blocks_read"),
+				BlocksPruned:   cfg.Obs.Counter("exec.blocks_pruned"),
+				CacheHits:      cfg.Obs.Counter("exec.cache_hits"),
+				PartialDecodes: cfg.Obs.Counter("exec.partial_decodes"),
+				FullDecodes:    cfg.Obs.Counter("exec.full_decodes"),
+				Rows:           cfg.Obs.Counter("exec.rows"),
+			},
+		}
+	} else {
+		s.met = storeMetrics{}
+	}
+}
+
+// storeMetrics are the store's pre-resolved obs instruments; the zero
+// value (nil instruments) is "observability off".
+type storeMetrics struct {
+	encodes       *obs.Counter
+	decodes       *obs.Counter
+	encodeHist    *obs.Histogram
+	decodeHist    *obs.Histogram
+	snapshots     *obs.Counter
+	snapshotsLive *obs.Gauge
+	exec          *ExecMetrics
+}
+
+// ExecMetrics are the pre-resolved counters the streaming executor folds
+// its per-pass Stats into, one atomic add per counter per pass. They hang
+// off the store (resolved once in Configure) so the executor never takes
+// the registry's registration lock on a query path.
+type ExecMetrics struct {
+	BlocksRead     *obs.Counter
+	BlocksPruned   *obs.Counter
+	CacheHits      *obs.Counter
+	PartialDecodes *obs.Counter
+	FullDecodes    *obs.Counter
+	Rows           *obs.Counter
+}
+
+// timeEncode wraps core.EncodeBlock with the store's encode instruments.
+func (s *Store) timeEncode(tuples []relation.Tuple) ([]byte, error) {
+	if s.met.encodeHist == nil {
+		return core.EncodeBlock(s.codec, s.schema, tuples, nil)
+	}
+	t0 := time.Now()
+	stream, err := core.EncodeBlock(s.codec, s.schema, tuples, nil)
+	s.met.encodeHist.Observe(time.Since(t0))
+	s.met.encodes.Inc()
+	return stream, err
 }
 
 // CacheStats returns decoded-block cache counters; zero when disabled.
@@ -182,7 +247,7 @@ func (s *Store) encodeChunks(chunks [][]relation.Tuple) ([][]byte, error) {
 				if i >= len(chunks) {
 					return
 				}
-				stream, err := core.EncodeBlock(s.codec, s.schema, chunks[i], nil)
+				stream, err := s.timeEncode(chunks[i])
 				if err != nil {
 					firstErr.record(i, err)
 					continue
@@ -200,9 +265,14 @@ func (s *Store) encodeChunks(chunks [][]relation.Tuple) ([][]byte, error) {
 
 // commitChunks appends the pre-encoded chunks as blocks of m, allocating
 // pages strictly in chunk order so the layout matches a serial load.
-func (s *Store) commitChunks(m *manifest, chunks [][]relation.Tuple, streams [][]byte) ([]BlockRef, error) {
+// Cancellation is honored between chunks: pages already committed stay in
+// m (which the caller publishes even on error) so Reset can reclaim them.
+func (s *Store) commitChunks(ctx context.Context, m *manifest, chunks [][]relation.Tuple, streams [][]byte) ([]BlockRef, error) {
 	refs := make([]BlockRef, 0, len(chunks))
 	for i, stream := range streams {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id, err := s.writeStream(stream)
 		if err != nil {
 			return nil, err
@@ -216,7 +286,7 @@ func (s *Store) commitChunks(m *manifest, chunks [][]relation.Tuple, streams [][
 
 // bulkLoadParallel is the pipelined BulkLoad body for additive codecs. The
 // caller has validated ordering and emptiness and publishes m.
-func (s *Store) bulkLoadParallel(m *manifest, z *core.Sizer, tuples []relation.Tuple) ([]BlockRef, error) {
+func (s *Store) bulkLoadParallel(ctx context.Context, m *manifest, z *core.Sizer, tuples []relation.Tuple) ([]BlockRef, error) {
 	if len(tuples) == 0 {
 		return nil, nil
 	}
@@ -232,14 +302,14 @@ func (s *Store) bulkLoadParallel(m *manifest, z *core.Sizer, tuples []relation.T
 	if err != nil {
 		return nil, err
 	}
-	return s.commitChunks(m, chunks, streams)
+	return s.commitChunks(ctx, m, chunks, streams)
 }
 
 // loadWindowParallel chunks and loads the window's complete blocks through
 // the pipeline, returning the unconsumed tail. When dry, the tail is
 // loaded too and comes back empty. grown reports that no complete block
 // fit in the window, so the caller must widen it.
-func (s *Store) loadWindowParallel(m *manifest, z *core.Sizer, window []relation.Tuple, dry bool) (refs []BlockRef, tail []relation.Tuple, grown bool, err error) {
+func (s *Store) loadWindowParallel(ctx context.Context, m *manifest, z *core.Sizer, window []relation.Tuple, dry bool) (refs []BlockRef, tail []relation.Tuple, grown bool, err error) {
 	costs, err := s.pairCosts(window)
 	if err != nil {
 		return nil, window, false, err
@@ -260,7 +330,7 @@ func (s *Store) loadWindowParallel(m *manifest, z *core.Sizer, window []relation
 	if err != nil {
 		return nil, window, false, err
 	}
-	refs, err = s.commitChunks(m, chunks, streams)
+	refs, err = s.commitChunks(ctx, m, chunks, streams)
 	if err != nil {
 		return nil, window, false, err
 	}
@@ -277,7 +347,7 @@ type scanResult struct {
 // lookahead and delivers them to fn strictly in clustered order. fn
 // returning false (or a decode error) stops the pipeline; in-flight
 // workers are drained before returning so no goroutine outlives the call.
-func (s *Store) scanBlocksParallel(m *manifest, fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
+func (s *Store) scanBlocksParallel(ctx context.Context, m *manifest, fn func(id storage.PageID, tuples []relation.Tuple) bool) error {
 	ids := m.blocks
 	workers := s.scanWorkers(len(ids))
 	futures := make(chan chan scanResult, workers*2)
@@ -315,6 +385,10 @@ func (s *Store) scanBlocksParallel(m *manifest, fn func(id storage.PageID, tuple
 		r := <-c
 		if !stopped {
 			switch {
+			case ctx.Err() != nil:
+				err = ctx.Err()
+				stopped = true
+				close(done)
 			case r.err != nil:
 				err = r.err
 				stopped = true

@@ -103,8 +103,15 @@ func (s *Store) Snapshot() *Snapshot {
 	s.snapRefs++
 	m := s.man.Load()
 	s.snapMu.Unlock()
+	s.met.snapshots.Inc()
+	s.met.snapshotsLive.Add(1)
 	return &Snapshot{s: s, m: m}
 }
+
+// Metrics returns the store's pre-resolved executor counters, or nil when
+// the store was configured without observability. The streaming executor
+// folds its per-pass Stats into them once per pass.
+func (sn *Snapshot) Metrics() *ExecMetrics { return sn.s.met.exec }
 
 // Release unpins the snapshot. When the last live snapshot releases, the
 // pages parked by intervening mutations are invalidated from the decoded-
@@ -115,6 +122,7 @@ func (sn *Snapshot) Release() {
 	}
 	sn.released = true
 	s := sn.s
+	s.met.snapshotsLive.Add(-1)
 	s.snapMu.Lock()
 	s.snapRefs--
 	var drain []storage.PageID
@@ -156,14 +164,23 @@ func (sn *Snapshot) Schema() *relation.Schema { return sn.s.schema }
 func (sn *Snapshot) Codec() core.Codec { return sn.s.codec }
 
 // ReadBlock decodes the i-th block, consulting the decoded-block cache;
-// hit reports whether the cache served it without a page read.
+// hit reports whether the cache served it without a page read. After
+// Release it fails with ErrSnapshotStale: the pages the snapshot pinned
+// may already be recycled.
 func (sn *Snapshot) ReadBlock(i int) (tuples []relation.Tuple, hit bool, err error) {
+	if sn.released {
+		return nil, false, fmt.Errorf("%w: ReadBlock(%d)", ErrSnapshotStale, i)
+	}
 	return sn.s.decodeBlockCachedHit(sn.m.blocks[i])
 }
 
 // ReadStream copies the i-th block's coded stream off its page, for
-// partial decoding without materializing the block.
+// partial decoding without materializing the block. After Release it
+// fails with ErrSnapshotStale.
 func (sn *Snapshot) ReadStream(i int) ([]byte, error) {
+	if sn.released {
+		return nil, fmt.Errorf("%w: ReadStream(%d)", ErrSnapshotStale, i)
+	}
 	return sn.s.readStream(sn.m.blocks[i])
 }
 
@@ -177,7 +194,7 @@ func (s *Store) readStream(id storage.PageID) ([]byte, error) {
 	l := int(binary.BigEndian.Uint32(data[:lenPrefix]))
 	var stream []byte
 	if l > s.capacity() {
-		err = fmt.Errorf("blockstore: page %d claims stream of %d bytes", id, l)
+		err = fmt.Errorf("%w: page %d claims stream of %d bytes", ErrCorruptBlock, id, l)
 	} else {
 		stream = append([]byte(nil), data[lenPrefix:lenPrefix+l]...)
 	}

@@ -16,6 +16,8 @@ package btree
 import (
 	"bytes"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // MinOrder is the smallest supported order (maximum keys per node).
@@ -35,6 +37,7 @@ type Tree[V any] struct {
 	size    int
 	height  int
 	nodes   int
+	probes  *obs.Counter // nil-safe; one Inc per root-to-leaf descent
 }
 
 type node[V any] struct {
@@ -97,8 +100,14 @@ func searchKeys[V any](n *node[V], key []byte) (int, bool) {
 	return lo, exact
 }
 
+// SetProbeCounter attaches an obs counter incremented once per
+// root-to-leaf descent (nil detaches). The table layer wires it so
+// index probe volume shows up in the metrics snapshot.
+func (t *Tree[V]) SetProbeCounter(c *obs.Counter) { t.probes = c }
+
 // leafFor descends to the leaf that would contain key.
 func (t *Tree[V]) leafFor(key []byte) *node[V] {
+	t.probes.Inc()
 	n := t.root
 	for !n.leaf {
 		idx, _ := searchKeys(n, key)

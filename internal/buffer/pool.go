@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simdisk"
 	"repro/internal/storage"
 )
@@ -72,6 +73,36 @@ type Pool struct {
 	lruTail  *Frame // least recently used unpinned frame
 	stats    Stats
 	closed   bool
+
+	// met holds pre-resolved obs instruments; nil instruments no-op, so
+	// the pool pays one nil check per event when observability is off.
+	met poolMetrics
+}
+
+// poolMetrics are the pool's obs instruments, resolved once by SetObs.
+type poolMetrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	flushes   *obs.Counter
+	pinned    *obs.Gauge
+}
+
+// SetObs wires the pool's counters into a registry (nil detaches). Call
+// before the pool is shared; the instruments themselves are atomic, but
+// installing them is not synchronized with concurrent pool use.
+func (p *Pool) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		p.met = poolMetrics{}
+		return
+	}
+	p.met = poolMetrics{
+		hits:      reg.Counter("pool.hits"),
+		misses:    reg.Counter("pool.misses"),
+		evictions: reg.Counter("pool.evictions"),
+		flushes:   reg.Counter("pool.flushes"),
+		pinned:    reg.Gauge("pool.pinned"),
+	}
 }
 
 // New creates a pool of the given capacity (in frames) over the pager.
@@ -143,6 +174,7 @@ func (p *Pool) evictLocked() error {
 	}
 	delete(p.frames, victim.id)
 	p.stats.Evictions++
+	p.met.evictions.Inc()
 	return nil
 }
 
@@ -155,6 +187,7 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 	}
 	f.dirty.Store(false)
 	p.stats.Flushes++
+	p.met.flushes.Inc()
 	return nil
 }
 
@@ -169,9 +202,11 @@ func (p *Pool) Get(id storage.PageID) (*Frame, error) {
 	if f, ok := p.frames[id]; ok {
 		if f.pins == 0 {
 			p.lruRemove(f)
+			p.met.pinned.Add(1)
 		}
 		f.pins++
 		p.stats.Hits++
+		p.met.hits.Inc()
 		return f, nil
 	}
 	if len(p.frames) >= p.capacity {
@@ -187,6 +222,8 @@ func (p *Pool) Get(id storage.PageID) (*Frame, error) {
 		p.disk.RecordReadPage(int64(id), len(data))
 	}
 	p.stats.Misses++
+	p.met.misses.Inc()
+	p.met.pinned.Add(1)
 	f := &Frame{id: id, data: data, pins: 1}
 	p.frames[id] = f
 	return f, nil
@@ -203,6 +240,7 @@ func (p *Pool) Unpin(f *Frame) error {
 	f.pins--
 	if f.pins == 0 {
 		p.lruPush(f)
+		p.met.pinned.Add(-1)
 	}
 	return nil
 }
@@ -224,6 +262,7 @@ func (p *Pool) Allocate() (*Frame, error) {
 			return nil, err
 		}
 	}
+	p.met.pinned.Add(1)
 	f := &Frame{id: id, data: make([]byte, p.pager.PageSize()), pins: 1}
 	p.frames[id] = f
 	return f, nil
@@ -293,6 +332,20 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// PinnedFrames returns the number of frames currently holding at least
+// one pin. Leak assertions use it: after an aborted scan it must be zero.
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // ResetStats zeroes the counters.

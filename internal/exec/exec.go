@@ -12,6 +12,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/relation"
@@ -86,7 +88,40 @@ func boundOf(preds []Pred) (bound *Pred, rest []Pred) {
 // Run streams the snapshot's tuples matching the plan to emit, in φ
 // order. emit returning false stops the pass early. The returned Stats
 // are valid on error too, reflecting the work done up to it.
+//
+// Deprecated: use RunContext.
 func Run(sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (Stats, error) {
+	return RunContext(context.Background(), sn, plan, emit)
+}
+
+// RunContext is Run under a context. Cancellation is checked at every
+// block boundary — before the next decode — so an aborted pass returns
+// promptly with no frames pinned; the partial Stats describe the work
+// done up to the abort. On return (any path) the pass's Stats are folded
+// into the snapshot's ExecMetrics when the store carries a registry.
+func RunContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (Stats, error) {
+	st, err := runContext(ctx, sn, plan, emit)
+	foldStats(sn, st)
+	return st, err
+}
+
+// foldStats adds a pass's counters into the store's pre-resolved exec
+// instruments: one atomic add per counter, no locks, nothing when the
+// store has no registry.
+func foldStats(sn *blockstore.Snapshot, st Stats) {
+	m := sn.Metrics()
+	if m == nil {
+		return
+	}
+	m.BlocksRead.Add(int64(st.BlocksRead))
+	m.BlocksPruned.Add(int64(st.BlocksPruned))
+	m.CacheHits.Add(int64(st.CacheHits))
+	m.PartialDecodes.Add(int64(st.PartialDecodes))
+	m.FullDecodes.Add(int64(st.FullDecodes))
+	m.Rows.Add(int64(st.Matches))
+}
+
+func runContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (Stats, error) {
 	st := Stats{BlocksTotal: sn.NumBlocks()}
 	bound, rest := boundOf(plan.Preds)
 	// Packed blocks have no per-tuple chain entry points worth walking; a
@@ -94,6 +129,9 @@ func Run(sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (St
 	partialOK := !plan.NoPartial && sn.Codec() != core.CodecPacked
 	n := sn.NumBlocks()
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		if plan.Candidates != nil {
 			if _, ok := plan.Candidates[sn.Block(i)]; !ok {
 				continue

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/blockstore"
 	"repro/internal/relation"
 )
@@ -11,22 +13,42 @@ import (
 // and merge joins are built on it.
 type Iterator struct {
 	sn   *blockstore.Snapshot
+	ctx  context.Context
 	next int // next block position to fill from
 	cur  []relation.Tuple
 	pos  int
 	done bool
+	// released marks that Release already folded Stats into the store's
+	// exec instruments.
+	released bool
 	// Stats accumulates block accounting across Next and Seek calls.
 	Stats Stats
 }
 
 // NewIterator returns an iterator positioned before the first tuple.
+//
+// Deprecated: use NewIteratorContext.
 func NewIterator(sn *blockstore.Snapshot) *Iterator {
-	return &Iterator{sn: sn, Stats: Stats{BlocksTotal: sn.NumBlocks()}}
+	return NewIteratorContext(context.Background(), sn)
 }
 
-// Release unpins the iterator's snapshot. It is idempotent; the iterator
-// must not be used afterwards.
-func (it *Iterator) Release() { it.sn.Release() }
+// NewIteratorContext returns an iterator positioned before the first
+// tuple. The context is checked at every block boundary (each fill), so
+// cancelling it makes the next Next or Seek fail before another decode.
+func NewIteratorContext(ctx context.Context, sn *blockstore.Snapshot) *Iterator {
+	return &Iterator{sn: sn, ctx: ctx, Stats: Stats{BlocksTotal: sn.NumBlocks()}}
+}
+
+// Release unpins the iterator's snapshot and folds its accumulated Stats
+// into the store's exec instruments. It is idempotent (the fold happens
+// once); the iterator must not be used afterwards.
+func (it *Iterator) Release() {
+	if !it.released {
+		it.released = true
+		foldStats(it.sn, it.Stats)
+	}
+	it.sn.Release()
+}
 
 // Next returns the next tuple, or ok=false at the end.
 func (it *Iterator) Next() (relation.Tuple, bool, error) {
@@ -49,6 +71,11 @@ func (it *Iterator) Next() (relation.Tuple, bool, error) {
 
 // fill decodes block i into the window and advances the block position.
 func (it *Iterator) fill(i int) error {
+	if it.ctx != nil {
+		if err := it.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	tuples, hit, err := it.sn.ReadBlock(i)
 	if err != nil {
 		return err

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/table"
+)
+
+// ObsConfig parameterizes the observability-overhead experiment (A6).
+type ObsConfig struct {
+	// Tuples is the relation size; default 100_000.
+	Tuples int
+	// PageSize is the block size; default 8192.
+	PageSize int
+	// Rounds is how many times each configuration is measured; the best
+	// round is kept, which filters scheduler noise. Default 5.
+	Rounds int
+	// CountIters is how many CountRange queries each round times; the
+	// query is microseconds-scale, so a single call cannot be timed
+	// reliably. Default 50.
+	CountIters int
+	// Seed makes the relation deterministic.
+	Seed int64
+}
+
+func (c *ObsConfig) fillDefaults() {
+	if c.Tuples == 0 {
+		c.Tuples = 100_000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 8192
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 5
+	}
+	if c.CountIters == 0 {
+		c.CountIters = 50
+	}
+}
+
+// ObsResult reports the cost of the observability layer: the same bulk
+// load and count-range workload with and without a registry attached. The
+// acceptance gate is MaxOverheadPct (5%): instruments are atomics resolved
+// once at construction, so the hot path pays one nil check plus a handful
+// of atomic adds per block, not per tuple.
+type ObsResult struct {
+	Tuples     int `json:"tuples"`
+	PageSize   int `json:"page_size"`
+	Rounds     int `json:"rounds"`
+	CountIters int `json:"count_iters"`
+
+	BaseLoadMillis  float64 `json:"base_load_ms"`
+	ObsLoadMillis   float64 `json:"obs_load_ms"`
+	LoadOverheadPct float64 `json:"load_overhead_pct"`
+
+	BaseCountMillis  float64 `json:"base_count_ms"`
+	ObsCountMillis   float64 `json:"obs_count_ms"`
+	CountOverheadPct float64 `json:"count_overhead_pct"`
+
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+	Pass           bool    `json:"pass"`
+
+	// Instrumented-run evidence: every layer must have reported.
+	Counters map[string]int64 `json:"counters"`
+	SpanOps  []string         `json:"span_ops"`
+}
+
+// obsMaxOverheadPct is the acceptance ceiling for instrumentation cost.
+const obsMaxOverheadPct = 5.0
+
+// runObsOnce loads the relation into a fresh table (optionally
+// instrumented) and times the load and a batch of CountRange queries.
+func runObsOnce(schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig, reg *obs.Registry) (load, count time.Duration, err error) {
+	tb, err := table.Create(schema,
+		table.WithCodec(core.CodecAVQ),
+		table.WithPageSize(cfg.PageSize),
+		table.WithPoolFrames(256),
+		table.WithObs(reg),
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := tb.BulkLoad(tuples); err != nil {
+		return 0, 0, err
+	}
+	load = time.Since(start)
+
+	dom := schema.Domain(0).Size
+	start = time.Now()
+	for i := 0; i < cfg.CountIters; i++ {
+		if _, _, err := tb.CountRange(0, dom/4, dom/2); err != nil {
+			return 0, 0, err
+		}
+	}
+	count = time.Since(start)
+	return load, count, nil
+}
+
+// RunObs measures the observability layer's overhead on the two hot
+// workloads the acceptance gate names: BulkLoad and CountRange. Each
+// configuration runs cfg.Rounds times and the fastest round is kept.
+func RunObs(cfg ObsConfig) (*ObsResult, error) {
+	cfg.fillDefaults()
+	spec := gen.Fig57Spec(cfg.Tuples, true, gen.VarianceLarge, cfg.Seed)
+	schema, tuples, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	schema.SortTuples(tuples)
+
+	best := func(reg func() *obs.Registry) (load, count time.Duration, lastReg *obs.Registry, err error) {
+		for r := 0; r < cfg.Rounds; r++ {
+			thisReg := reg()
+			l, c, err := runObsOnce(schema, tuples, cfg, thisReg)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if r == 0 || l < load {
+				load = l
+			}
+			if r == 0 || c < count {
+				count = c
+			}
+			lastReg = thisReg
+		}
+		return load, count, lastReg, nil
+	}
+
+	baseLoad, baseCount, _, err := best(func() *obs.Registry { return nil })
+	if err != nil {
+		return nil, err
+	}
+	obsLoad, obsCount, reg, err := best(obs.NewRegistry)
+	if err != nil {
+		return nil, err
+	}
+
+	pct := func(base, inst time.Duration) float64 {
+		if base <= 0 {
+			return 0
+		}
+		return (float64(inst) - float64(base)) / float64(base) * 100
+	}
+	res := &ObsResult{
+		Tuples:           cfg.Tuples,
+		PageSize:         cfg.PageSize,
+		Rounds:           cfg.Rounds,
+		CountIters:       cfg.CountIters,
+		BaseLoadMillis:   float64(baseLoad.Microseconds()) / 1e3,
+		ObsLoadMillis:    float64(obsLoad.Microseconds()) / 1e3,
+		LoadOverheadPct:  pct(baseLoad, obsLoad),
+		BaseCountMillis:  float64(baseCount.Microseconds()) / 1e3,
+		ObsCountMillis:   float64(obsCount.Microseconds()) / 1e3,
+		CountOverheadPct: pct(baseCount, obsCount),
+		MaxOverheadPct:   obsMaxOverheadPct,
+		Counters:         map[string]int64{},
+	}
+	res.Pass = res.LoadOverheadPct <= obsMaxOverheadPct && res.CountOverheadPct <= obsMaxOverheadPct
+
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		res.Counters[c.Name] = c.Value
+	}
+	for _, h := range snap.Histograms {
+		res.SpanOps = append(res.SpanOps, h.Name)
+	}
+	return res, nil
+}
+
+// WriteText renders the result as an aligned report.
+func (r *ObsResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "Observability overhead (A6): %d tuples, %d-byte pages, best of %d rounds\n",
+		r.Tuples, r.PageSize, r.Rounds)
+	fmt.Fprintf(w, "%-22s %12s %12s %10s\n", "workload", "baseline ms", "obs ms", "overhead")
+	fmt.Fprintf(w, "%-22s %12.2f %12.2f %9.2f%%\n", "bulk load", r.BaseLoadMillis, r.ObsLoadMillis, r.LoadOverheadPct)
+	fmt.Fprintf(w, "%-22s %12.2f %12.2f %9.2f%%\n",
+		fmt.Sprintf("count-range x%d", r.CountIters), r.BaseCountMillis, r.ObsCountMillis, r.CountOverheadPct)
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "gate: overhead <= %.1f%% on both workloads: %s\n", r.MaxOverheadPct, verdict)
+	fmt.Fprintf(w, "instrumented run reported %d counters, %d op/latency histograms\n",
+		len(r.Counters), len(r.SpanOps))
+	return nil
+}
+
+// WriteJSON renders the result as indented JSON.
+func (r *ObsResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

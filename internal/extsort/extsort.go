@@ -27,7 +27,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -51,6 +53,11 @@ type Sorter struct {
 	runs     []string
 	draining bool
 	closed   bool
+
+	// met holds pre-resolved obs instruments; nil instruments no-op.
+	// The spill worker reads it concurrently, so SetObs must precede
+	// the first Add.
+	met sortMetrics
 
 	// Background spill worker state (conc > 1 only). The worker owns each
 	// submitted batch exclusively; its first failure is kept and surfaced
@@ -110,6 +117,37 @@ func (s *Sorter) runPath(idx int) string {
 	return filepath.Join(s.tmpDir, fmt.Sprintf("run-%06d.bin", idx))
 }
 
+// sortMetrics are the sorter's obs instruments, resolved once by SetObs.
+type sortMetrics struct {
+	spills        *obs.Counter
+	spilledTuples *obs.Counter
+	mergeRuns     *obs.Counter
+	spillHist     *obs.Histogram
+}
+
+// SetObs wires the sorter's spill/merge counters into a registry (nil
+// detaches). Call before the first Add: the background spill worker reads
+// the instruments without synchronization.
+func (s *Sorter) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.met = sortMetrics{}
+		return
+	}
+	s.met = sortMetrics{
+		spills:        reg.Counter("extsort.spills"),
+		spilledTuples: reg.Counter("extsort.spilled_tuples"),
+		mergeRuns:     reg.Counter("extsort.merge_runs"),
+		spillHist:     reg.Histogram("extsort.spill"),
+	}
+}
+
+// recordSpill accounts one run of n tuples written in dur.
+func (s *Sorter) recordSpill(n int, dur time.Duration) {
+	s.met.spills.Inc()
+	s.met.spilledTuples.Add(int64(n))
+	s.met.spillHist.Observe(dur)
+}
+
 // spill turns the current batch into a run file — inline, or on the
 // background worker when the pipeline is enabled.
 func (s *Sorter) spill() error {
@@ -121,8 +159,15 @@ func (s *Sorter) spill() error {
 	}
 	s.schema.SortTuples(s.batch)
 	path := s.runPath(len(s.runs))
+	var t0 time.Time
+	if s.met.spillHist != nil {
+		t0 = time.Now()
+	}
 	if err := writeRun(s.schema, s.batch, path); err != nil {
 		return err
+	}
+	if s.met.spillHist != nil {
+		s.recordSpill(len(s.batch), time.Since(t0))
 	}
 	s.runs = append(s.runs, path)
 	s.batch = s.batch[:0]
@@ -157,12 +202,20 @@ func (s *Sorter) spillWorker() {
 	defer close(s.spillDone)
 	for job := range s.spillCh {
 		s.schema.SortTuples(job.batch)
+		var t0 time.Time
+		if s.met.spillHist != nil {
+			t0 = time.Now()
+		}
 		if err := writeRun(s.schema, job.batch, job.path); err != nil {
 			s.spillMu.Lock()
 			if s.spillErr == nil {
 				s.spillErr = err
 			}
 			s.spillMu.Unlock()
+			continue
+		}
+		if s.met.spillHist != nil {
+			s.recordSpill(len(job.batch), time.Since(t0))
 		}
 	}
 }
@@ -418,6 +471,7 @@ func (s *Sorter) Iterate(fn func(relation.Tuple) bool) (err error) {
 	}
 	// The final in-memory batch becomes one more (virtual) run.
 	s.schema.SortTuples(s.batch)
+	s.met.mergeRuns.Add(int64(len(s.runs)))
 
 	h := &mergeHeap{schema: s.schema}
 	var sources []runSource

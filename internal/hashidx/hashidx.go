@@ -17,6 +17,8 @@ package hashidx
 import (
 	"bytes"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // DefaultBucketCap is the default number of entries per bucket.
@@ -34,7 +36,13 @@ type Table[V any] struct {
 	bucketCap   int
 	size        int
 	numBuckets  int
+	probes      *obs.Counter // nil-safe; one Inc per directory probe
 }
+
+// SetProbeCounter attaches an obs counter incremented once per directory
+// probe (nil detaches). The table layer wires it so hash-index probe
+// volume shows up in the metrics snapshot.
+func (t *Table[V]) SetProbeCounter(c *obs.Counter) { t.probes = c }
 
 type bucket[V any] struct {
 	localDepth uint
@@ -89,6 +97,7 @@ func (t *Table[V]) GlobalDepth() uint { return t.globalDepth }
 
 // bucketFor returns the bucket for a key's hash.
 func (t *Table[V]) bucketFor(h uint64) *bucket[V] {
+	t.probes.Inc()
 	return t.dir[h&(1<<t.globalDepth-1)]
 }
 

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the histogram's fixed upper bounds in nanoseconds,
+// following a 1-2-5 decade ladder from 1µs to 10s. A value lands in the
+// first bucket whose bound is >= the value; anything above the last bound
+// goes to the overflow bucket. Fixed bounds keep Observe allocation-free
+// and lock-free: one atomic add into a preallocated slot.
+var bucketBounds = []int64{
+	1_000, 2_000, 5_000, // 1µs 2µs 5µs
+	10_000, 20_000, 50_000, // 10µs 20µs 50µs
+	100_000, 200_000, 500_000, // 100µs 200µs 500µs
+	1_000_000, 2_000_000, 5_000_000, // 1ms 2ms 5ms
+	10_000_000, 20_000_000, 50_000_000, // 10ms 20ms 50ms
+	100_000_000, 200_000_000, 500_000_000, // 100ms 200ms 500ms
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1s 2s 5s
+	10_000_000_000, // 10s
+}
+
+// numBuckets includes the overflow bucket past the last bound.
+var numBuckets = len(bucketBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free
+// (atomic adds only) and nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets []atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, numBuckets)}
+}
+
+// bucketIndex returns the bucket for a duration of ns nanoseconds: the
+// first bucket whose upper bound is >= ns (so a value exactly on a bound
+// belongs to that bound's bucket), or the overflow bucket. Binary search
+// over the 22 bounds.
+func bucketIndex(ns int64) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] >= ns {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// BucketCount is one histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperNanos is the bucket's inclusive upper bound in nanoseconds;
+	// math.MaxInt64 is reported as -1 for the overflow bucket.
+	UpperNanos int64 `json:"upper_ns"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram with derived
+// quantiles.
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	SumNs   int64         `json:"sum_ns"`
+	MaxNs   int64         `json:"max_ns"`
+	P50Ns   int64         `json:"p50_ns"`
+	P95Ns   int64         `json:"p95_ns"`
+	P99Ns   int64         `json:"p99_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observation as a duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// snapshot copies counts (atomic loads, no lock) and derives p50/p95/p99
+// by walking the cumulative distribution. Because observations inside a
+// bucket are unlocated, a quantile is reported as the bucket's upper
+// bound — a deliberate overestimate, which is the safe direction for a
+// latency alarm. Empty buckets are elided from the snapshot.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  name,
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	counts := make([]int64, numBuckets)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	// The atomic loads above may race with concurrent Observes, so the
+	// bucket total can differ slightly from s.Count; quantiles use the
+	// bucket total for internal consistency.
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	s.P50Ns = quantile(counts, total, 0.50)
+	s.P95Ns = quantile(counts, total, 0.95)
+	s.P99Ns = quantile(counts, total, 0.99)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		upper := int64(-1)
+		if i < len(bucketBounds) {
+			upper = bucketBounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperNanos: upper, Count: c})
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (rank = ceil(q*total)). The overflow bucket
+// reports the observed max is unknown, so it returns the last finite
+// bound doubled as a conservative stand-in.
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			return 2 * bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return 2 * bucketBounds[len(bucketBounds)-1]
+}

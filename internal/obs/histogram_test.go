@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBoundaries pins the boundary rule: a value exactly on a
+// bucket's upper bound belongs to that bucket, one nanosecond more spills
+// into the next, and values past the last bound land in overflow.
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{999, 0},
+		{1_000, 0}, // exactly the first bound
+		{1_001, 1}, // one past it
+		{2_000, 1}, // exactly the second bound
+		{2_001, 2}, // one past it
+		{5_000, 2},
+		{10_000_000_000, len(bucketBounds) - 1}, // exactly the last bound
+		{10_000_000_001, len(bucketBounds)},     // overflow
+		{math.MaxInt64, len(bucketBounds)},      // overflow extreme
+		{999_999_999, 18},                       // just under 1s -> the 1s bucket
+		{1_000_000_000, 18},                     // exactly 1s
+		{1_000_000_001, 19},                     // just over 1s -> the 2s bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+// TestBucketIndexExhaustive cross-checks the binary search against a
+// linear scan at every bound and its neighbors.
+func TestBucketIndexExhaustive(t *testing.T) {
+	linear := func(ns int64) int {
+		for i, b := range bucketBounds {
+			if ns <= b {
+				return i
+			}
+		}
+		return len(bucketBounds)
+	}
+	for _, b := range bucketBounds {
+		for _, ns := range []int64{b - 1, b, b + 1} {
+			if got, want := bucketIndex(ns), linear(ns); got != want {
+				t.Fatalf("bucketIndex(%d) = %d, linear = %d", ns, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramObserveNegativeClamps(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-time.Second)
+	if h.count.Load() != 1 || h.sum.Load() != 0 {
+		t.Fatalf("negative observe: count=%d sum=%d", h.count.Load(), h.sum.Load())
+	}
+	if h.buckets[0].Load() != 1 {
+		t.Fatal("negative observe not clamped into first bucket")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	// 90 fast (10µs bucket), 9 medium (1ms bucket), 1 slow (1s bucket).
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	s := h.snapshot("q")
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := time.Duration(s.P50Ns); got != 10*time.Microsecond {
+		t.Fatalf("p50 = %v, want 10µs", got)
+	}
+	if got := time.Duration(s.P95Ns); got != time.Millisecond {
+		t.Fatalf("p95 = %v, want 1ms", got)
+	}
+	if got := time.Duration(s.P99Ns); got != time.Millisecond {
+		t.Fatalf("p99 = %v, want 1ms (rank 99 of 100)", got)
+	}
+	if got := time.Duration(s.MaxNs); got != time.Second {
+		t.Fatalf("max = %v, want 1s", got)
+	}
+	if s.Mean() <= 0 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+// TestHistogramQuantileOverflow checks the overflow bucket's conservative
+// quantile stand-in (double the last finite bound).
+func TestHistogramQuantileOverflow(t *testing.T) {
+	h := newHistogram()
+	h.Observe(time.Duration(math.MaxInt64))
+	s := h.snapshot("o")
+	want := 2 * bucketBounds[len(bucketBounds)-1]
+	if s.P50Ns != want {
+		t.Fatalf("overflow p50 = %d, want %d", s.P50Ns, want)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperNanos != -1 {
+		t.Fatalf("overflow bucket = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := newHistogram()
+	s := h.snapshot("e")
+	if s.Count != 0 || s.P50Ns != 0 || s.P99Ns != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean = %v", s.Mean())
+	}
+}
+
+// TestHistogramSingleObservation: with one observation every quantile is
+// that observation's bucket bound.
+func TestHistogramSingleObservation(t *testing.T) {
+	h := newHistogram()
+	h.Observe(3 * time.Microsecond) // lands in the 5µs bucket
+	s := h.snapshot("s")
+	for _, q := range []int64{s.P50Ns, s.P95Ns, s.P99Ns} {
+		if q != 5_000 {
+			t.Fatalf("quantiles = p50:%d p95:%d p99:%d, want all 5000", s.P50Ns, s.P95Ns, s.P99Ns)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.SetSlowOpThreshold(1)
+	r.SetSampleEvery(1)
+	r.Counter("exec.blocks_read").Add(12)
+	sp := r.StartOp("select")
+	sp.Detailf("rows=3")
+	sp.End()
+	return r
+}
+
+func TestHandlerMetricsText(t *testing.T) {
+	h := Handler(newTestRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "exec.blocks_read") || !strings.Contains(body, "op.select") {
+		t.Fatalf("metrics body missing instruments:\n%s", body)
+	}
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	h := Handler(newTestRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, rec.Body.String())
+	}
+	if len(snap.Counters) == 0 || snap.Counters[0].Name != "exec.blocks_read" {
+		t.Fatalf("JSON snapshot = %+v", snap)
+	}
+}
+
+func TestHandlerSlowOps(t *testing.T) {
+	h := Handler(newTestRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slowops", nil))
+	var ops []SlowOp
+	if err := json.Unmarshal(rec.Body.Bytes(), &ops); err != nil {
+		t.Fatalf("slowops JSON invalid: %v\n%s", err, rec.Body.String())
+	}
+	if len(ops) != 1 || ops[0].Op != "select" || ops[0].Detail != "rows=3" {
+		t.Fatalf("slowops = %+v", ops)
+	}
+	if ops[0].Dur <= 0 {
+		t.Fatalf("slow op duration not serialized: %+v", ops[0])
+	}
+}
+
+func TestHandlerSlowOpsEmptyIsArray(t *testing.T) {
+	r := NewRegistry()
+	h := Handler(r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slowops", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Fatalf("empty slowops = %q, want []", got)
+	}
+}
+
+func TestHandlerPprofIndex(t *testing.T) {
+	h := Handler(newTestRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof index status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatal("pprof index missing profile list")
+	}
+	// A concrete profile endpoint also answers.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/goroutine?debug=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("goroutine profile status = %d", rec.Code)
+	}
+}

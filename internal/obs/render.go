@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteText renders the snapshot as aligned human-readable text, the
+// format behind `avqdb stats -live` and `avqtool metrics`.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters:"); err != nil {
+			return err
+		}
+		for _, c := range s.Counters {
+			if _, err := fmt.Fprintf(w, "  %-28s %12d\n", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "gauges:"); err != nil {
+			return err
+		}
+		for _, g := range s.Gauges {
+			if _, err := fmt.Fprintf(w, "  %-28s %12d\n", g.Name, g.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "latencies:"); err != nil {
+			return err
+		}
+		for _, h := range s.Histograms {
+			if _, err := fmt.Fprintf(w, "  %-28s n=%-8d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+				h.Name, h.Count, h.Mean().Round(time.Microsecond),
+				time.Duration(h.P50Ns), time.Duration(h.P95Ns),
+				time.Duration(h.P99Ns), time.Duration(h.MaxNs)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.SlowOps) > 0 {
+		if _, err := fmt.Fprintln(w, "slow ops (newest first):"); err != nil {
+			return err
+		}
+		for _, op := range s.SlowOps {
+			if err := writeSlowOp(w, op); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSlowOp(w io.Writer, op SlowOp) error {
+	if _, err := fmt.Fprintf(w, "  %s %-12s %v", op.Start.Format("15:04:05.000"), op.Op, op.Dur.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if op.Detail != "" {
+		if _, err := fmt.Fprintf(w, "  [%s]", op.Detail); err != nil {
+			return err
+		}
+	}
+	for _, st := range op.Stages {
+		if _, err := fmt.Fprintf(w, "  %s=%v", st.Name, st.Dur.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLogCap is the slow-op ring capacity used by NewRegistry.
+const DefaultSlowLogCap = 128
+
+// StageTiming is one stage of a sampled op breakdown.
+type StageTiming struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"dur_ns"`
+}
+
+// SlowOp is one entry in the slow-op log.
+type SlowOp struct {
+	Op     string        `json:"op"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Detail string        `json:"detail,omitempty"`
+	// Stages is non-empty only when the op was stage-sampled.
+	Stages []StageTiming `json:"stages,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of SlowOps. Appends take a
+// mutex, but only ops that already crossed the slowness threshold reach
+// Add, so the lock is off the hot path by construction.
+type SlowLog struct {
+	mu    sync.Mutex
+	ring  []SlowOp
+	next  int // ring index of the next write
+	n     int // live entries, <= len(ring)
+	total atomic.Int64
+}
+
+// NewSlowLog creates a ring holding the most recent capacity entries
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowOp, capacity)}
+}
+
+// Add appends op, evicting the oldest entry once the ring is full.
+// Nil-safe.
+func (l *SlowLog) Add(op SlowOp) {
+	if l == nil {
+		return
+	}
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = op
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Total returns the number of ops ever admitted, including those already
+// evicted from the ring.
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowOp {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowOp, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}

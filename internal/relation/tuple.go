@@ -1,9 +1,15 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrDomainRange marks a tuple that does not fit its schema: wrong arity
+// or an attribute ordinal outside its domain. ValidateTuple wraps it with
+// the offending position so callers can dispatch with errors.Is.
+var ErrDomainRange = errors.New("relation: value outside domain range")
 
 // Tuple is a vector of attribute ordinals, one digit per attribute. Digit i
 // must satisfy 0 <= t[i] < schema.Domain(i).Size. Tuples are interpreted as
@@ -33,14 +39,15 @@ func (t Tuple) String() string {
 }
 
 // ValidateTuple checks that the tuple has the schema's arity and that every
-// digit lies within its domain.
+// digit lies within its domain. Domain violations wrap ErrDomainRange so
+// callers can dispatch with errors.Is.
 func (s *Schema) ValidateTuple(t Tuple) error {
 	if len(t) != len(s.domains) {
-		return fmt.Errorf("relation: tuple has %d attributes, schema has %d", len(t), len(s.domains))
+		return fmt.Errorf("%w: tuple has %d attributes, schema has %d", ErrDomainRange, len(t), len(s.domains))
 	}
 	for i, v := range t {
 		if v >= s.domains[i].Size {
-			return fmt.Errorf("relation: attribute %d value %d out of domain [0,%d)", i, v, s.domains[i].Size)
+			return fmt.Errorf("%w: attribute %d value %d out of domain [0,%d)", ErrDomainRange, i, v, s.domains[i].Size)
 		}
 	}
 	return nil

@@ -84,7 +84,7 @@ func ReadCSV(r io.Reader, schema *relation.Schema) (*relation.Schema, []relation
 		for i, p := range parts {
 			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("relfile: line %d field %d: %v", line, i+1, err)
+				return nil, nil, fmt.Errorf("relfile: line %d field %d: %w", line, i+1, err)
 			}
 			tu[i] = v
 			if v > maxVal[i] {

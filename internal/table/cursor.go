@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/exec"
@@ -22,8 +23,16 @@ type Cursor struct {
 }
 
 // NewCursor returns a cursor positioned before the first tuple.
+//
+// Deprecated: use NewCursorContext.
 func (t *Table) NewCursor() *Cursor {
-	return &Cursor{t: t, it: exec.NewIterator(t.store.Snapshot())}
+	return t.NewCursorContext(context.Background())
+}
+
+// NewCursorContext is NewCursor honouring ctx: once ctx is cancelled, the
+// next block boundary makes Next return the context's error.
+func (t *Table) NewCursorContext(ctx context.Context) *Cursor {
+	return &Cursor{t: t, it: exec.NewIteratorContext(ctx, t.store.Snapshot())}
 }
 
 // Seek positions the cursor so the following Next returns the first tuple
@@ -59,12 +68,19 @@ type GroupResult struct {
 // GroupBy computes per-group COUNT/SUM/MIN/MAX of aggAttr, grouped by the
 // values of groupAttr, over the rows matching lo <= A_filterAttr <= hi.
 // Groups are returned in ascending group-value order.
+//
+// Deprecated: use GroupByContext.
 func (t *Table) GroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	return t.GroupByContext(context.Background(), filterAttr, lo, hi, groupAttr, aggAttr)
+}
+
+// GroupByContext is GroupBy honouring ctx.
+func (t *Table) GroupByContext(ctx context.Context, filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
 	r, err := t.planGroupBy(filterAttr, lo, hi, groupAttr, aggAttr)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return groupByRun(r, groupAttr, aggAttr)
+	return groupByRunCtx(ctx, r, groupAttr, aggAttr)
 }
 
 // planGroupBy validates the grouping attributes and plans the filter pass.
@@ -75,13 +91,20 @@ func (t *Table) planGroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr in
 	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
 		return queryRun{}, errInto("aggregate attribute out of range")
 	}
-	return t.planRange(filterAttr, lo, hi)
+	r, err := t.planRange(filterAttr, lo, hi)
+	r.op = "groupby"
+	return r, err
 }
 
 // groupByRun executes a planned GroupBy pass: stream, bucket, sort.
 func groupByRun(r queryRun, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	return groupByRunCtx(context.Background(), r, groupAttr, aggAttr)
+}
+
+// groupByRunCtx is groupByRun honouring ctx.
+func groupByRunCtx(ctx context.Context, r queryRun, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
 	groups := make(map[uint64]*AggregateResult)
-	stats, err := r.run(func(tu relation.Tuple) bool {
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
 		g := groups[tu[groupAttr]]
 		if g == nil {
 			g = &AggregateResult{Min: ^uint64(0)}

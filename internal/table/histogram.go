@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -107,7 +108,14 @@ func (t *Table) histRemove(tu relation.Tuple) {
 // counterpart of the planner's incrementally maintained estimate. It
 // returns one count per bucket; the last bucket absorbs the domain
 // remainder when the domain does not divide evenly.
+//
+// Deprecated: use HistogramContext.
 func (t *Table) Histogram(attr, buckets int) ([]int, QueryStats, error) {
+	return t.HistogramContext(context.Background(), attr, buckets)
+}
+
+// HistogramContext is Histogram honouring ctx.
+func (t *Table) HistogramContext(ctx context.Context, attr, buckets int) ([]int, QueryStats, error) {
 	if attr < 0 || attr >= t.schema.NumAttrs() {
 		return nil, QueryStats{}, fmt.Errorf("table: attribute %d out of range", attr)
 	}
@@ -120,7 +128,9 @@ func (t *Table) Histogram(attr, buckets int) ([]int, QueryStats, error) {
 	}
 	width := (domain + uint64(buckets) - 1) / uint64(buckets)
 	counts := make([]int, buckets)
-	stats, err := t.planScan().run(func(tu relation.Tuple) bool {
+	r := t.planScan()
+	r.op = "histogram"
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
 		b := int(tu[attr] / width)
 		if b >= buckets {
 			b = buckets - 1

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -29,13 +30,23 @@ type JoinStats struct {
 // through the executor. Because AVQ blocks decode independently, the
 // probe side never needs more than one decoded block in memory — the
 // locality property Section 3.3 is designed for.
+//
+// Deprecated: use HashJoinContext.
 func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error) {
+	return HashJoinContext(context.Background(), left, right, lattr, rattr)
+}
+
+// HashJoinContext is HashJoin honouring ctx: both the build and probe
+// passes observe cancellation at block boundaries.
+func HashJoinContext(ctx context.Context, left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error) {
 	if lattr < 0 || lattr >= left.schema.NumAttrs() {
 		return nil, JoinStats{}, fmt.Errorf("table: join attribute %d out of range for left", lattr)
 	}
 	if rattr < 0 || rattr >= right.schema.NumAttrs() {
 		return nil, JoinStats{}, fmt.Errorf("table: join attribute %d out of range for right", rattr)
 	}
+	sp := left.opts.Obs.StartOp("hash_join")
+	defer sp.End()
 	var stats JoinStats
 	// Build on the smaller side.
 	buildLeft := left.Len() <= right.Len()
@@ -47,7 +58,7 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 	}
 	ht := make(map[uint64][]relation.Tuple)
 	buildSnap := build.store.Snapshot()
-	buildStats, err := exec.Run(buildSnap, exec.Plan{}, func(tu relation.Tuple) bool {
+	buildStats, err := exec.RunContext(ctx, buildSnap, exec.Plan{}, func(tu relation.Tuple) bool {
 		ht[tu[battr]] = append(ht[tu[battr]], tu)
 		return true
 	})
@@ -57,7 +68,7 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 	}
 	var out []JoinRow
 	probeSnap := probe.store.Snapshot()
-	probeStats, err := exec.Run(probeSnap, exec.Plan{}, func(tu relation.Tuple) bool {
+	probeStats, err := exec.RunContext(ctx, probeSnap, exec.Plan{}, func(tu relation.Tuple) bool {
 		for _, match := range ht[tu[pattr]] {
 			if buildLeft {
 				out = append(out, JoinRow{Left: match, Right: tu})
@@ -87,11 +98,21 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 // lexicographic, each side streams its blocks exactly once in join-key
 // order: the join costs one pass over each compressed relation with no
 // build table.
+//
+// Deprecated: use MergeJoinContext.
 func MergeJoin(left, right *Table) ([]JoinRow, JoinStats, error) {
+	return MergeJoinContext(context.Background(), left, right)
+}
+
+// MergeJoinContext is MergeJoin honouring ctx: both streams observe
+// cancellation at block boundaries.
+func MergeJoinContext(ctx context.Context, left, right *Table) ([]JoinRow, JoinStats, error) {
+	sp := left.opts.Obs.StartOp("merge_join")
+	defer sp.End()
 	var stats JoinStats
-	lc := newClusterCursor(left)
+	lc := newClusterCursor(ctx, left)
 	defer lc.close()
-	rc := newClusterCursor(right)
+	rc := newClusterCursor(ctx, right)
 	defer rc.close()
 	var out []JoinRow
 	lg, err := lc.nextGroup()
@@ -146,8 +167,8 @@ type keyGroup struct {
 	rows []relation.Tuple
 }
 
-func newClusterCursor(t *Table) *clusterCursor {
-	return &clusterCursor{it: exec.NewIterator(t.store.Snapshot())}
+func newClusterCursor(ctx context.Context, t *Table) *clusterCursor {
+	return &clusterCursor{it: exec.NewIteratorContext(ctx, t.store.Snapshot())}
 }
 
 func (c *clusterCursor) close() { c.it.Release() }

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/btree"
@@ -14,10 +15,22 @@ import (
 // merged and rewritten once. Semantically identical to calling Insert in a
 // loop (duplicates allowed); typically an order of magnitude faster for
 // large batches.
+//
+// Deprecated: use InsertBatchContext.
 func (t *Table) InsertBatch(tuples []relation.Tuple) error {
+	return t.InsertBatchContext(context.Background(), tuples)
+}
+
+// InsertBatchContext is InsertBatch honouring ctx: cancellation is
+// observed between block rewrites, leaving the table consistent with the
+// runs merged so far.
+func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	sp := t.opts.Obs.StartOp("insert_batch")
+	defer sp.End()
+	sp.Detailf("%d tuples", len(tuples))
 	batch := make([]relation.Tuple, len(tuples))
 	for i, tu := range tuples {
 		if err := t.schema.ValidateTuple(tu); err != nil {
@@ -28,7 +41,7 @@ func (t *Table) InsertBatch(tuples []relation.Tuple) error {
 	t.schema.SortTuples(batch)
 	if t.size == 0 {
 		// Empty table: a batch load is a bulk load.
-		refs, err := t.store.BulkLoad(batch)
+		refs, err := t.store.BulkLoadContext(ctx, batch)
 		if err != nil {
 			return err
 		}
@@ -36,7 +49,7 @@ func (t *Table) InsertBatch(tuples []relation.Tuple) error {
 			t.primary.Insert(t.schema.EncodeTuple(nil, ref.First), ref.Page)
 		}
 		if len(t.secondary) > 0 {
-			if err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
+			if err := t.store.ScanBlocksContext(ctx, func(id storage.PageID, ts []relation.Tuple) bool {
 				t.registerTuples(id, ts)
 				return true
 			}); err != nil {
@@ -53,6 +66,9 @@ func (t *Table) InsertBatch(tuples []relation.Tuple) error {
 	// Partition the sorted batch into runs sharing a home block, then merge
 	// each run into its block with a single rewrite.
 	for start := 0; start < len(batch); {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		page, ok := t.homeBlock(batch[start])
 		if !ok {
 			// Cannot happen on a non-empty table, but fail safe.
@@ -117,10 +133,21 @@ func (t *Table) mergeIntoBlock(page storage.PageID, run []relation.Tuple) error 
 // counterpart of BulkLoad, intended for external-sorted inputs larger than
 // memory (package extsort produces a compatible stream).
 // On error the table is left partially loaded and must be discarded.
+//
+// Deprecated: use BulkLoadStreamContext.
 func (t *Table) BulkLoadStream(next func() (relation.Tuple, bool, error)) error {
+	return t.BulkLoadStreamContext(context.Background(), next)
+}
+
+// BulkLoadStreamContext is BulkLoadStream honouring ctx: cancellation is
+// observed between block encodes, before the next pull from the source.
+// On error the table is left partially loaded and must be discarded.
+func (t *Table) BulkLoadStreamContext(ctx context.Context, next func() (relation.Tuple, bool, error)) error {
 	if t.size != 0 || t.store.NumBlocks() != 0 {
 		return errInto("bulk load into non-empty table")
 	}
+	sp := t.opts.Obs.StartOp("bulkload_stream")
+	defer sp.End()
 	count := 0
 	counted := func() (relation.Tuple, bool, error) {
 		tu, ok, err := next()
@@ -134,7 +161,7 @@ func (t *Table) BulkLoadStream(next func() (relation.Tuple, bool, error)) error 
 		t.histAdd(tu)
 		return tu, true, nil
 	}
-	refs, err := t.store.BulkLoadStream(counted)
+	refs, err := t.store.BulkLoadStreamContext(ctx, counted)
 	if err != nil {
 		return err
 	}
@@ -142,13 +169,14 @@ func (t *Table) BulkLoadStream(next func() (relation.Tuple, bool, error)) error 
 		t.primary.Insert(t.schema.EncodeTuple(nil, ref.First), ref.Page)
 	}
 	if len(t.secondary) > 0 {
-		if err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
+		if err := t.store.ScanBlocksContext(ctx, func(id storage.PageID, ts []relation.Tuple) bool {
 			t.registerTuples(id, ts)
 			return true
 		}); err != nil {
 			return err
 		}
 	}
+	sp.Detailf("%d tuples, %d blocks", count, len(refs))
 	t.size = count
 	return nil
 }
@@ -160,14 +188,22 @@ func errInto(msg string) error { return fmt.Errorf("table: %s", msg) }
 // DeleteWhere removes every tuple matching the conjunction and returns how
 // many were removed. It collects matches first (queries see a consistent
 // snapshot), then deletes block by block.
+//
+// Deprecated: use DeleteWhereContext.
 func (t *Table) DeleteWhere(preds []Predicate) (int, error) {
-	matches, _, err := t.Select(preds)
+	return t.DeleteWhereContext(context.Background(), preds)
+}
+
+// DeleteWhereContext is DeleteWhere honouring ctx: cancellation is
+// observed between deletes, so the removed count stays accurate.
+func (t *Table) DeleteWhereContext(ctx context.Context, preds []Predicate) (int, error) {
+	matches, _, err := t.SelectContext(ctx, preds)
 	if err != nil {
 		return 0, err
 	}
 	removed := 0
 	for _, tu := range matches {
-		ok, err := t.Delete(tu)
+		ok, err := t.DeleteContext(ctx, tu)
 		if err != nil {
 			return removed, err
 		}
@@ -182,10 +218,21 @@ func (t *Table) DeleteWhere(preds []Predicate) (int, error) {
 // slack that accumulates as deletions shrink blocks below the packing
 // target (Section 3.4's minimal-unused-space rule degrades under churn).
 // Indexes are rebuilt. It returns the block counts before and after.
+//
+// Deprecated: use CompactContext.
 func (t *Table) Compact() (before, after int, err error) {
+	return t.CompactContext(context.Background())
+}
+
+// CompactContext is Compact honouring ctx. Cancellation is observed only
+// during the initial collection scan: once the old layout is torn down the
+// rewrite runs to completion so the table is never left empty.
+func (t *Table) CompactContext(ctx context.Context) (before, after int, err error) {
+	sp := t.opts.Obs.StartOp("compact")
+	defer sp.End()
 	before = t.store.NumBlocks()
 	var all []relation.Tuple
-	if err := t.Scan(func(tu relation.Tuple) bool {
+	if err := t.ScanContext(ctx, func(tu relation.Tuple) bool {
 		all = append(all, tu.Clone())
 		return true
 	}); err != nil {
@@ -199,6 +246,7 @@ func (t *Table) Compact() (before, after int, err error) {
 	if err != nil {
 		return before, before, err
 	}
+	freshPrimary.SetProbeCounter(t.opts.Obs.Counter("index.btree_probes"))
 	t.primary = freshPrimary
 	for attr := range t.secondary {
 		idx, err := newSecIndex(t.opts)

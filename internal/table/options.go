@@ -1,0 +1,106 @@
+package table
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simdisk"
+)
+
+// Option configures a table at Create/Open time. Options compose left to
+// right: later options override earlier ones. The legacy Options struct
+// itself implements Option (it replaces the whole configuration), so both
+// styles work:
+//
+//	table.Create(schema, table.WithConcurrency(8), table.WithBlockCache(256))
+//	table.Create(schema, table.Options{Concurrency: 8, CacheBlocks: 256})
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// apply makes the legacy Options struct usable wherever an Option is
+// expected. It replaces the accumulated configuration wholesale, so mixing
+// a struct with With* options only makes sense with the struct first.
+func (o Options) apply(dst *Options) { *dst = o }
+
+// resolveOptions folds a Create/Open option list into one Options value.
+func resolveOptions(opts []Option) Options {
+	var o Options
+	for _, op := range opts {
+		op.apply(&o)
+	}
+	return o
+}
+
+// WithCodec selects the block representation (default core.CodecAVQ).
+func WithCodec(c core.Codec) Option {
+	return optionFunc(func(o *Options) { o.Codec = c })
+}
+
+// WithPageSize sets the disk block size in bytes.
+func WithPageSize(n int) Option {
+	return optionFunc(func(o *Options) { o.PageSize = n })
+}
+
+// WithPoolFrames sets the buffer pool capacity in frames.
+func WithPoolFrames(n int) Option {
+	return optionFunc(func(o *Options) { o.PoolFrames = n })
+}
+
+// WithDiskParams sets the simulated disk cost model.
+func WithDiskParams(p simdisk.Params) Option {
+	return optionFunc(func(o *Options) { o.DiskParams = p })
+}
+
+// WithIndexOrder sets the B+ tree node width.
+func WithIndexOrder(n int) Option {
+	return optionFunc(func(o *Options) { o.IndexOrder = n })
+}
+
+// WithSecondaryAttrs lists attribute positions to maintain secondary
+// indexes on.
+func WithSecondaryAttrs(attrs ...int) Option {
+	return optionFunc(func(o *Options) { o.SecondaryAttrs = attrs })
+}
+
+// WithSecondaryKind selects the secondary-index backend.
+func WithSecondaryKind(k IndexKind) Option {
+	return optionFunc(func(o *Options) { o.SecondaryKind = k })
+}
+
+// WithPath backs the table with a page file at the given location.
+func WithPath(path string) Option {
+	return optionFunc(func(o *Options) { o.Path = path })
+}
+
+// WithConcurrency sets the block-codec worker count for bulk loads, scans,
+// and stats; values <= 1 keep the serial reference path.
+func WithConcurrency(n int) Option {
+	return optionFunc(func(o *Options) { o.Concurrency = n })
+}
+
+// WithBlockCache enables the decoded-block LRU cache with the given
+// capacity in blocks; 0 disables it.
+func WithBlockCache(blocks int) Option {
+	return optionFunc(func(o *Options) { o.CacheBlocks = blocks })
+}
+
+// WithObs attaches an observability registry: the buffer pool, block
+// store, executor, and indexes resolve their instruments from it, and the
+// table's public operations record op-latency spans through it. A nil
+// registry (the default) keeps every hot path un-instrumented.
+func WithObs(reg *obs.Registry) Option {
+	return optionFunc(func(o *Options) { o.Obs = reg })
+}
+
+// WithSlowOpThreshold overrides the attached registry's slow-op admission
+// threshold. It only has effect together with WithObs.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.SlowOpThreshold = d })
+}

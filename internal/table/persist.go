@@ -284,14 +284,16 @@ func (t *Table) Close() error {
 	return t.pager.Close()
 }
 
-// Open loads a persistent table created by Create with Options.Path. The
+// Open loads a persistent table created by Create with a path. The
 // schema, codec, block layout, and secondary-index configuration come from
-// the newest valid catalog; opts supplies runtime knobs (pool size, disk
-// model). The indexes are rebuilt with one pass over the data blocks.
-func Open(path string, opts Options) (*Table, error) {
+// the newest valid catalog; options supply runtime knobs (pool size, disk
+// model, observability). The indexes are rebuilt with one pass over the
+// data blocks.
+func Open(path string, options ...Option) (*Table, error) {
 	if path == "" {
 		return nil, errors.New("table: Open needs a path")
 	}
+	opts := resolveOptions(options)
 	opts.Path = path
 	opts.fillDefaults()
 

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,13 +48,21 @@ func (p Predicate) selectivity(s *relation.Schema) float64 {
 // index) drives block retrieval; the whole conjunction is pushed into the
 // executor, which filters while it streams. With no usable predicate the
 // table is scanned.
+//
+// Deprecated: use SelectContext.
 func (t *Table) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
+	return t.SelectContext(context.Background(), preds)
+}
+
+// SelectContext is Select honouring ctx: cancellation is observed at block
+// boundaries, before the next decode.
+func (t *Table) SelectContext(ctx context.Context, preds []Predicate) ([]relation.Tuple, QueryStats, error) {
 	r, err := t.planSelect(preds)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
 	var out []relation.Tuple
-	stats, err := r.run(func(tu relation.Tuple) bool {
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
 		out = append(out, tu)
 		return true
 	})
@@ -81,7 +90,7 @@ func (t *Table) planSelect(preds []Predicate) (queryRun, error) {
 	if driver.Hi >= t.schema.Domain(driver.Attr).Size {
 		driver.Hi = t.schema.Domain(driver.Attr).Size - 1
 	}
-	r := queryRun{}
+	r := queryRun{op: "select", reg: t.opts.Obs}
 	for _, p := range preds {
 		hi := p.Hi
 		if hi >= t.schema.Domain(p.Attr).Size {
@@ -169,12 +178,19 @@ type AggregateResult struct {
 // AggregateRange computes COUNT, SUM, MIN, and MAX of attribute aggAttr
 // over the rows matching lo <= A_attr <= hi. Min and Max are meaningful
 // only when Count > 0.
+//
+// Deprecated: use AggregateRangeContext.
 func (t *Table) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
+	return t.AggregateRangeContext(context.Background(), attr, lo, hi, aggAttr)
+}
+
+// AggregateRangeContext is AggregateRange honouring ctx.
+func (t *Table) AggregateRangeContext(ctx context.Context, attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
 	r, err := t.planAggregate(attr, lo, hi, aggAttr)
 	if err != nil {
 		return AggregateResult{}, QueryStats{}, err
 	}
-	return aggregateRun(r, aggAttr)
+	return aggregateRunCtx(ctx, r, aggAttr)
 }
 
 // planAggregate validates the aggregate attribute and plans the filter pass.
@@ -182,13 +198,20 @@ func (t *Table) planAggregate(attr int, lo, hi uint64, aggAttr int) (queryRun, e
 	if aggAttr < 0 || aggAttr >= t.schema.NumAttrs() {
 		return queryRun{}, fmt.Errorf("table: aggregate attribute %d out of range", aggAttr)
 	}
-	return t.planRange(attr, lo, hi)
+	r, err := t.planRange(attr, lo, hi)
+	r.op = "aggregate"
+	return r, err
 }
 
 // aggregateRun executes a planned aggregate pass without materializing rows.
 func aggregateRun(r queryRun, aggAttr int) (AggregateResult, QueryStats, error) {
+	return aggregateRunCtx(context.Background(), r, aggAttr)
+}
+
+// aggregateRunCtx is aggregateRun honouring ctx.
+func aggregateRunCtx(ctx context.Context, r queryRun, aggAttr int) (AggregateResult, QueryStats, error) {
 	res := AggregateResult{Min: math.MaxUint64}
-	stats, err := r.run(func(tu relation.Tuple) bool {
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
 		v := tu[aggAttr]
 		res.Count++
 		res.Sum += v

@@ -1,11 +1,13 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/blockstore"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -70,31 +72,55 @@ type queryRun struct {
 	plan  exec.Plan
 	snap  *blockstore.Snapshot
 	empty bool
+
+	// op names the span recorded around the pass ("" records none); reg is
+	// the table's registry, captured at plan time so run needs no table.
+	op  string
+	reg *obs.Registry
 }
 
 // run executes the planned pass through the executor, releases the
 // snapshot, and folds the executor's accounting into QueryStats.
 func (r queryRun) run(emit func(relation.Tuple) bool) (QueryStats, error) {
+	return r.runCtx(context.Background(), emit)
+}
+
+// runCtx is run honouring ctx: the executor observes cancellation at block
+// boundaries, before the next decode.
+func (r queryRun) runCtx(ctx context.Context, emit func(relation.Tuple) bool) (QueryStats, error) {
 	if r.empty {
 		return r.stats, nil
 	}
+	var sp *obs.Span
+	if r.op != "" {
+		sp = r.reg.StartOp(r.op)
+		defer sp.End()
+	}
 	defer r.snap.Release()
-	es, err := exec.Run(r.snap, r.plan, emit)
+	es, err := exec.RunContext(ctx, r.snap, r.plan, emit)
 	st := r.stats
 	st.BlocksRead = es.BlocksRead
 	st.CacheHits = es.CacheHits
 	st.BlocksPruned = es.BlocksPruned
 	st.PartialDecodes = es.PartialDecodes
 	st.Matches = es.Matches
+	sp.Detailf("%s: %d blocks read, %d pruned, %d matches", st.Strategy, st.BlocksRead, st.BlocksPruned, st.Matches)
 	return st, err
 }
 
 // SelectRange executes the paper's evaluation query sigma_{lo <= A_attr <=
 // hi}(R) (Section 5.3) and returns the matching tuples in phi order
 // together with access statistics.
+//
+// Deprecated: use SelectRangeContext.
 func (t *Table) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
+	return t.SelectRangeContext(context.Background(), attr, lo, hi)
+}
+
+// SelectRangeContext is SelectRange honouring ctx.
+func (t *Table) SelectRangeContext(ctx context.Context, attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
 	var out []relation.Tuple
-	stats, err := t.selectRangeFunc(attr, lo, hi, func(tu relation.Tuple) bool {
+	stats, err := t.selectRangeFunc(ctx, attr, lo, hi, func(tu relation.Tuple) bool {
 		out = append(out, tu)
 		return true
 	})
@@ -104,17 +130,25 @@ func (t *Table) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QuerySta
 // SelectRangeFunc streams the matching tuples of sigma_{lo<=A_attr<=hi}(R)
 // to emit in phi order without materializing them; emit returning false
 // stops the query early. Aggregates are built on it.
+//
+// Deprecated: use SelectRangeFuncContext.
 func (t *Table) SelectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
-	return t.selectRangeFunc(attr, lo, hi, emit)
+	return t.selectRangeFunc(context.Background(), attr, lo, hi, emit)
+}
+
+// SelectRangeFuncContext is SelectRangeFunc honouring ctx: cancellation is
+// observed at block boundaries, before the next decode.
+func (t *Table) SelectRangeFuncContext(ctx context.Context, attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+	return t.selectRangeFunc(ctx, attr, lo, hi, emit)
 }
 
 // selectRangeFunc plans the range pass and runs it through the executor.
-func (t *Table) selectRangeFunc(attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
+func (t *Table) selectRangeFunc(ctx context.Context, attr int, lo, hi uint64, emit func(relation.Tuple) bool) (QueryStats, error) {
 	r, err := t.planRange(attr, lo, hi)
 	if err != nil {
 		return QueryStats{}, err
 	}
-	return r.run(emit)
+	return r.runCtx(ctx, emit)
 }
 
 // planRange validates the predicate and picks the access path, as a real
@@ -131,7 +165,7 @@ func (t *Table) planRange(attr int, lo, hi uint64) (queryRun, error) {
 	if hi >= t.schema.Domain(attr).Size {
 		hi = t.schema.Domain(attr).Size - 1
 	}
-	r := queryRun{plan: exec.Plan{Preds: []exec.Pred{{Attr: attr, Lo: lo, Hi: hi}}}}
+	r := queryRun{plan: exec.Plan{Preds: []exec.Pred{{Attr: attr, Lo: lo, Hi: hi}}}, op: "select", reg: t.opts.Obs}
 	switch {
 	case attr == 0:
 		r.stats.Strategy = StrategyClustered
@@ -153,6 +187,7 @@ func (t *Table) planScan() queryRun {
 	return queryRun{
 		stats: QueryStats{Strategy: StrategyFullScan},
 		snap:  t.store.Snapshot(),
+		reg:   t.opts.Obs,
 	}
 }
 
@@ -191,14 +226,28 @@ func (t *Table) candidateBlocks(idx secIndex, attr int, lo, hi uint64) (map[stor
 }
 
 // SelectPoint executes sigma_{A_attr = v}(R).
+//
+// Deprecated: use SelectPointContext.
 func (t *Table) SelectPoint(attr int, v uint64) ([]relation.Tuple, QueryStats, error) {
-	return t.SelectRange(attr, v, v)
+	return t.SelectRangeContext(context.Background(), attr, v, v)
+}
+
+// SelectPointContext is SelectPoint honouring ctx.
+func (t *Table) SelectPointContext(ctx context.Context, attr int, v uint64) ([]relation.Tuple, QueryStats, error) {
+	return t.SelectRangeContext(ctx, attr, v, v)
 }
 
 // CountRange returns only the number of qualifying tuples, with the same
 // access path and cost as SelectRange but no materialization.
+//
+// Deprecated: use CountRangeContext.
 func (t *Table) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
-	stats, err := t.selectRangeFunc(attr, lo, hi, func(relation.Tuple) bool { return true })
+	return t.CountRangeContext(context.Background(), attr, lo, hi)
+}
+
+// CountRangeContext is CountRange honouring ctx.
+func (t *Table) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) (int, QueryStats, error) {
+	stats, err := t.selectRangeFunc(ctx, attr, lo, hi, func(relation.Tuple) bool { return true })
 	return stats.Matches, stats, err
 }
 

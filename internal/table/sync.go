@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/relation"
@@ -174,4 +175,121 @@ func (s *Sync) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.t.Close()
+}
+
+// Context-aware variants. Planning still happens under the lock; the
+// context governs only the lock-free execution phase (readers) or the
+// whole mutation (writers).
+
+// SelectRangeContext is SelectRange honouring ctx.
+func (s *Sync) SelectRangeContext(ctx context.Context, attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planRange(attr, lo, hi)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	var out []relation.Tuple
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
+}
+
+// SelectContext is Select honouring ctx.
+func (s *Sync) SelectContext(ctx context.Context, preds []Predicate) ([]relation.Tuple, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planSelect(preds)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	var out []relation.Tuple
+	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
+		out = append(out, tu)
+		return true
+	})
+	return out, stats, err
+}
+
+// CountRangeContext is CountRange honouring ctx.
+func (s *Sync) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) (int, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planRange(attr, lo, hi)
+	s.mu.RUnlock()
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	stats, err := r.runCtx(ctx, func(relation.Tuple) bool { return true })
+	return stats.Matches, stats, err
+}
+
+// AggregateRangeContext is AggregateRange honouring ctx.
+func (s *Sync) AggregateRangeContext(ctx context.Context, attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planAggregate(attr, lo, hi, aggAttr)
+	s.mu.RUnlock()
+	if err != nil {
+		return AggregateResult{}, QueryStats{}, err
+	}
+	return aggregateRunCtx(ctx, r, aggAttr)
+}
+
+// GroupByContext is GroupBy honouring ctx.
+func (s *Sync) GroupByContext(ctx context.Context, filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planGroupBy(filterAttr, lo, hi, groupAttr, aggAttr)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return groupByRunCtx(ctx, r, groupAttr, aggAttr)
+}
+
+// ScanContext is Scan honouring ctx.
+func (s *Sync) ScanContext(ctx context.Context, fn func(relation.Tuple) bool) error {
+	s.mu.RLock()
+	r := s.t.planScan()
+	r.op = "scan"
+	s.mu.RUnlock()
+	_, err := r.runCtx(ctx, fn)
+	return err
+}
+
+// InsertContext adds a tuple under an exclusive lock, honouring ctx.
+func (s *Sync) InsertContext(ctx context.Context, tu relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.InsertContext(ctx, tu)
+}
+
+// InsertBatchContext adds many tuples under one exclusive lock, honouring
+// ctx between block rewrites.
+func (s *Sync) InsertBatchContext(ctx context.Context, tuples []relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.InsertBatchContext(ctx, tuples)
+}
+
+// DeleteContext removes a tuple under an exclusive lock, honouring ctx.
+func (s *Sync) DeleteContext(ctx context.Context, tu relation.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.DeleteContext(ctx, tu)
+}
+
+// UpdateContext replaces a tuple under an exclusive lock, honouring ctx.
+func (s *Sync) UpdateContext(ctx context.Context, old, new relation.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.UpdateContext(ctx, old, new)
+}
+
+// CompactContext rewrites the layout under an exclusive lock, honouring
+// ctx during the collection scan.
+func (s *Sync) CompactContext(ctx context.Context) (before, after int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.CompactContext(ctx)
 }

@@ -11,15 +11,17 @@
 package table
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/blockstore"
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/hashidx"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/simdisk"
 	"repro/internal/storage"
@@ -82,6 +84,13 @@ type Options struct {
 	// capacity in blocks; 0 disables it. Repeated range selections over
 	// cached blocks skip the difference decode entirely.
 	CacheBlocks int
+	// Obs attaches an observability registry (see internal/obs); nil keeps
+	// every hot path un-instrumented. The pool, store, executor, and
+	// indexes resolve their instruments from it once at construction.
+	Obs *obs.Registry
+	// SlowOpThreshold, when positive, overrides the registry's slow-op
+	// admission threshold. Only meaningful together with Obs.
+	SlowOpThreshold time.Duration
 }
 
 // AllAttrs returns 0..n-1, for indexing every attribute of a schema.
@@ -181,10 +190,12 @@ type Table struct {
 	closed        bool
 }
 
-// Create builds an empty table for the schema. With Options.Path set, the
-// table is file-backed and the page file must be new or empty.
-func Create(schema *relation.Schema, opts Options) (*Table, error) {
-	t, err := newTableShell(schema, opts)
+// Create builds an empty table for the schema, configured by functional
+// options (or a legacy Options struct, which implements Option). With a
+// path set, the table is file-backed and the page file must be new or
+// empty.
+func Create(schema *relation.Schema, opts ...Option) (*Table, error) {
+	t, err := newTableShell(schema, resolveOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +203,7 @@ func Create(schema *relation.Schema, opts Options) (*Table, error) {
 		if t.pager.NumPages() != 0 {
 			t.pool.Close()  //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 			t.pager.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
-			return nil, fmt.Errorf("table: %s already holds pages; use Open", opts.Path)
+			return nil, fmt.Errorf("table: %s already holds pages; use Open", t.opts.Path)
 		}
 		if err := t.initCatalogHeads(); err != nil {
 			return nil, err
@@ -244,11 +255,17 @@ func newTableShell(schema *relation.Schema, opts Options) (*Table, error) {
 	store.Configure(blockstore.Config{
 		Concurrency: opts.Concurrency,
 		CacheBlocks: opts.CacheBlocks,
+		Obs:         opts.Obs,
 	})
+	pool.SetObs(opts.Obs)
+	if opts.Obs != nil && opts.SlowOpThreshold > 0 {
+		opts.Obs.SetSlowOpThreshold(opts.SlowOpThreshold)
+	}
 	primary, err := btree.New[storage.PageID](opts.IndexOrder)
 	if err != nil {
 		return nil, err
 	}
+	primary.SetProbeCounter(opts.Obs.Counter("index.btree_probes"))
 	t := &Table{
 		schema:    schema,
 		opts:      opts,
@@ -284,12 +301,14 @@ func newSecIndex(opts Options) (secIndex, error) {
 		if err != nil {
 			return nil, err
 		}
+		tr.SetProbeCounter(opts.Obs.Counter("index.btree_probes"))
 		return btreeSec{tr}, nil
 	case IndexHash:
 		h, err := hashidx.New[*bucket](hashidx.DefaultBucketCap)
 		if err != nil {
 			return nil, err
 		}
+		h.SetProbeCounter(opts.Obs.Counter("index.hash_probes"))
 		return hashSec{h}, nil
 	default:
 		return nil, fmt.Errorf("table: unknown secondary index kind %d", opts.SecondaryKind)
@@ -337,10 +356,23 @@ func (t *Table) BlockCacheStats() blockstore.CacheStats { return t.store.CacheSt
 
 // BulkLoad replaces the table's contents with tuples (any order; the table
 // re-orders them per Section 3.2). The input slice is not retained.
+//
+// Deprecated: use BulkLoadContext.
 func (t *Table) BulkLoad(tuples []relation.Tuple) error {
+	return t.BulkLoadContext(context.Background(), tuples)
+}
+
+// BulkLoadContext is BulkLoad honouring ctx: cancellation is observed at
+// block boundaries during encoding and indexing, leaving the table
+// partially loaded (discard it on error, as with any failed bulk load).
+func (t *Table) BulkLoadContext(ctx context.Context, tuples []relation.Tuple) error {
 	if t.size != 0 || t.store.NumBlocks() != 0 {
 		return errors.New("table: bulk load into non-empty table")
 	}
+	sp := t.opts.Obs.StartOp("bulkload")
+	defer sp.End()
+	sp.Detailf("%d tuples", len(tuples))
+	endStage := sp.Stage("sort")
 	sorted := make([]relation.Tuple, len(tuples))
 	for i, tu := range tuples {
 		if err := t.schema.ValidateTuple(tu); err != nil {
@@ -349,15 +381,19 @@ func (t *Table) BulkLoad(tuples []relation.Tuple) error {
 		sorted[i] = tu.Clone()
 	}
 	t.schema.SortTuples(sorted)
-	refs, err := t.store.BulkLoad(sorted)
+	endStage()
+	endStage = sp.Stage("load")
+	refs, err := t.store.BulkLoadContext(ctx, sorted)
 	if err != nil {
 		return err
 	}
+	endStage()
+	endStage = sp.Stage("index")
 	for _, ref := range refs {
 		t.primary.Insert(t.schema.EncodeTuple(nil, ref.First), ref.Page)
 	}
 	if len(t.secondary) > 0 {
-		if err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
+		if err := t.store.ScanBlocksContext(ctx, func(id storage.PageID, ts []relation.Tuple) bool {
 			t.registerTuples(id, ts)
 			return true
 		}); err != nil {
@@ -367,6 +403,7 @@ func (t *Table) BulkLoad(tuples []relation.Tuple) error {
 	for _, tu := range sorted {
 		t.histAdd(tu)
 	}
+	endStage()
 	t.size = len(sorted)
 	return nil
 }
@@ -422,7 +459,18 @@ func (t *Table) homeBlock(tu relation.Tuple) (storage.PageID, bool) {
 
 // Insert adds tu to the table. Duplicates are permitted (relations here are
 // bags once inserts are allowed, matching the paper's block operations).
+//
+// Deprecated: use InsertContext.
 func (t *Table) Insert(tu relation.Tuple) error {
+	return t.InsertContext(context.Background(), tu)
+}
+
+// InsertContext is Insert honouring ctx. A single-block rewrite is not
+// interruptible mid-flight; cancellation is observed before work starts.
+func (t *Table) InsertContext(ctx context.Context, tu relation.Tuple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := t.schema.ValidateTuple(tu); err != nil {
 		return err
 	}
@@ -458,7 +506,18 @@ func (t *Table) Insert(tu relation.Tuple) error {
 }
 
 // Delete removes one occurrence of tu, reporting whether it was present.
+//
+// Deprecated: use DeleteContext.
 func (t *Table) Delete(tu relation.Tuple) (bool, error) {
+	return t.DeleteContext(context.Background(), tu)
+}
+
+// DeleteContext is Delete honouring ctx. A single-block rewrite is not
+// interruptible mid-flight; cancellation is observed before work starts.
+func (t *Table) DeleteContext(ctx context.Context, tu relation.Tuple) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if err := t.schema.ValidateTuple(tu); err != nil {
 		return false, err
 	}
@@ -487,15 +546,23 @@ func (t *Table) Delete(tu relation.Tuple) (bool, error) {
 
 // Update replaces one occurrence of old with new. It reports whether old
 // was present (and therefore replaced).
+//
+// Deprecated: use UpdateContext.
 func (t *Table) Update(old, new relation.Tuple) (bool, error) {
+	return t.UpdateContext(context.Background(), old, new)
+}
+
+// UpdateContext is Update honouring ctx: cancellation is observed before
+// the delete and again before the re-insert.
+func (t *Table) UpdateContext(ctx context.Context, old, new relation.Tuple) (bool, error) {
 	if err := t.schema.ValidateTuple(new); err != nil {
 		return false, err
 	}
-	found, err := t.Delete(old)
+	found, err := t.DeleteContext(ctx, old)
 	if err != nil || !found {
 		return false, err
 	}
-	return true, t.Insert(new)
+	return true, t.InsertContext(ctx, new)
 }
 
 // applyMutation fixes the primary and secondary indexes after a block
@@ -571,10 +638,18 @@ func (t *Table) Contains(tu relation.Tuple) (bool, error) {
 
 // Scan visits every tuple in phi order through the executor, reading a
 // pinned snapshot. fn returning false stops the scan.
+//
+// Deprecated: use ScanContext.
 func (t *Table) Scan(fn func(relation.Tuple) bool) error {
-	sn := t.store.Snapshot()
-	defer sn.Release()
-	_, err := exec.Run(sn, exec.Plan{}, fn)
+	return t.ScanContext(context.Background(), fn)
+}
+
+// ScanContext is Scan honouring ctx: cancellation is observed at block
+// boundaries, before the next block is decoded.
+func (t *Table) ScanContext(ctx context.Context, fn func(relation.Tuple) bool) error {
+	r := t.planScan()
+	r.op = "scan"
+	_, err := r.runCtx(ctx, fn)
 	return err
 }
 

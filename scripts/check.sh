@@ -31,6 +31,6 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/buffer ./internal/table ./internal/simdisk \
-    ./internal/blockstore ./internal/extsort ./internal/exec
+    ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs
 
 echo "check.sh: all gates passed"
