@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint build fmt bench-pruning bench-obs
+.PHONY: check test race lint build fmt bench-pruning bench-obs bench-decode benchgate
 
 check:
 	sh scripts/check.sh
@@ -16,7 +16,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
-		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs
+		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
+		./internal/core
+
+bench-decode:
+	$(GO) run ./cmd/avqbench -exp decode
+
+benchgate:
+	sh scripts/benchgate.sh
 
 bench-pruning:
 	$(GO) run ./cmd/avqbench -exp pruning

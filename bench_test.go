@@ -311,6 +311,7 @@ func BenchmarkInsertBatchVsSequential(b *testing.B) {
 		return tb
 	}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			tb := load()
@@ -323,6 +324,7 @@ func BenchmarkInsertBatchVsSequential(b *testing.B) {
 		}
 	})
 	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			tb := load()

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -132,6 +132,17 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 				return err
 			}
 			return writeObsJSON(r)
+		case "decode":
+			r, err := experiments.RunDecode(experiments.DecodeConfig{
+				Tuples: tuples, PageSize: pageSize, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeDecodeJSON(r)
 		case "cpusweep":
 			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
@@ -148,7 +159,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode"} {
 		if i > 0 {
 			sep()
 		}
@@ -179,6 +190,22 @@ func writePruningJSON(r *experiments.PruningResult) error {
 // pass field.
 func writeObsJSON(r *experiments.ObsResult) error {
 	f, err := os.Create("BENCH_obs.json")
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeDecodeJSON records the decode-kernel measurement as
+// BENCH_decode.json in the working directory; scripts/benchgate.sh reads
+// its pass field and compares the macro workload against the baseline.
+func writeDecodeJSON(r *experiments.DecodeResult) error {
+	f, err := os.Create("BENCH_decode.json")
 	if err != nil {
 		return err
 	}

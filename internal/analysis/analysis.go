@@ -7,8 +7,10 @@
 // the storage stack depends on: every buffer-pool pin is matched by an
 // unpin, a Frame.Data slice is never used after its frame is unpinned,
 // every mutex Lock has an Unlock on the same paths, error results are
-// never silently dropped, and ordinal digit arithmetic never truncates
-// through a narrowing conversion. See the per-analyzer files for details.
+// never silently dropped, ordinal digit arithmetic never truncates
+// through a narrowing conversion, and slab-backed tuples from the arena
+// decode kernels are cloned before being retained. See the per-analyzer
+// files for details.
 //
 // A finding can be suppressed by placing a comment of the form
 //
@@ -83,6 +85,7 @@ func Registry() []*Analyzer {
 	all := []*Analyzer{
 		AnalyzerUnpinPair,
 		AnalyzerFrameAlias,
+		AnalyzerArenaAlias,
 		AnalyzerLockBalance,
 		AnalyzerDroppedErr,
 		AnalyzerOrdWidth,

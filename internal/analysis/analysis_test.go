@@ -49,6 +49,14 @@ func TestAnalyzersGolden(t *testing.T) {
 			},
 		},
 		{
+			rule: "arenaalias",
+			want: []string{
+				`arenaalias.go:22:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaalias.go:32:12: slab-backed tuple "ts" (from DecodeTupleSpanArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaalias.go:39:11: slab-backed tuple "tu" (from Arena.Tuple) sent on a channel; arena memory is recycled on Reset — Clone() it first`,
+			},
+		},
+		{
 			rule: "framealias",
 			want: []string{
 				`framealias.go:20:9: use of "d", a Frame.Data() slice of frame "f", after the frame's Unpin`,
@@ -140,7 +148,7 @@ func TestSuppression(t *testing.T) {
 
 // TestRegistry checks the full analyzer set is registered and named.
 func TestRegistry(t *testing.T) {
-	want := []string{"droppederr", "errwrap", "framealias", "lockbalance", "ordwidth", "unpinpair"}
+	want := []string{"arenaalias", "droppederr", "errwrap", "framealias", "lockbalance", "ordwidth", "unpinpair"}
 	var got []string
 	for _, a := range Registry() {
 		got = append(got, a.Name)

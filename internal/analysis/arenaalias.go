@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// corePkg suffix-matches the codec package that defines Arena and the
+// arena-backed decode kernels.
+const corePkg = "internal/core"
+
+// blockstorePkg suffix-matches the block-store package whose Store and
+// Snapshot expose arena read paths.
+const blockstorePkg = "internal/blockstore"
+
+// AnalyzerArenaAlias flags retained slab-backed tuples. The arena decode
+// kernels (core.DecodeBlockArena and friends, Arena.Tuple/Tuples,
+// Store/Snapshot.ReadBlockArena) return relation.Tuple values whose
+// digits alias the arena's slab; the slab is recycled on the next
+// Arena.Reset, so the tuples are only valid for transient use. Storing
+// one into a struct field or sending it on a channel without an explicit
+// Clone() (or element copy) silently retains memory that will be
+// overwritten by a later decode. The check is per-function and
+// flow-insensitive: a variable assigned from an arena-yielding call is
+// tainted for the whole body, and any field store or channel send of it
+// (or of an element indexed from it) is reported unless the stored
+// expression is a .Clone() call.
+var AnalyzerArenaAlias = &Analyzer{
+	Name: "arenaalias",
+	Doc:  "a slab-backed tuple from an arena decode must be Clone()d before being retained",
+	Run:  runArenaAlias,
+}
+
+func runArenaAlias(pass *Pass) {
+	// The arena and codec internals manage slab lifetimes themselves.
+	if strings.HasSuffix(pass.Pkg.Path, corePkg) {
+		return
+	}
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		// tainted maps variables assigned from arena-yielding calls to
+		// the call's display name, for the diagnostic.
+		tainted := map[types.Object]string{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			asgn, ok := n.(*ast.AssignStmt)
+			if !ok || len(asgn.Rhs) != 1 {
+				return true
+			}
+			call, ok := unparen(asgn.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, yields := arenaYieldingCall(pass.Pkg, call)
+			if !yields {
+				return true
+			}
+			// The tuple result is always first (the second, if any, is an
+			// error or index).
+			if obj := identObj(pass.Pkg, asgn.Lhs[0]); obj != nil {
+				tainted[obj] = name
+			}
+			return true
+		})
+		if len(tainted) == 0 {
+			return
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if !isFieldStore(lhs) {
+						continue
+					}
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if obj, src := taintedRef(pass.Pkg, rhs, tainted); obj != "" {
+						pass.Report(rhs.Pos(),
+							"slab-backed tuple %q (from %s) stored into a field; arena memory is recycled on Reset — Clone() it first",
+							obj, src)
+					}
+				}
+			case *ast.SendStmt:
+				if obj, src := taintedRef(pass.Pkg, n.Value, tainted); obj != "" {
+					pass.Report(n.Value.Pos(),
+						"slab-backed tuple %q (from %s) sent on a channel; arena memory is recycled on Reset — Clone() it first",
+						obj, src)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// arenaYieldingCall reports whether the call returns tuples backed by an
+// arena slab, and the callee's display name.
+func arenaYieldingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if recv, name, ok := methodCall(pkg, call); ok {
+		t := pkg.Info.TypeOf(recv)
+		switch name {
+		case "Tuple", "Tuples":
+			if namedFrom(t, corePkg, "Arena") {
+				return "Arena." + name, true
+			}
+		case "ReadBlockArena":
+			if namedFrom(t, blockstorePkg, "Store") || namedFrom(t, blockstorePkg, "Snapshot") {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "DecodeBlockArena", "DecodeTupleSpanArena", "DecodeTupleAtArena":
+	default:
+		return "", false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	p := obj.Pkg().Path()
+	if p == corePkg || strings.HasSuffix(p, "/"+corePkg) {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isFieldStore reports whether the assignment target is a struct field
+// (s.f) or an element of one (s.f[i]): the shapes that retain the stored
+// value past the enclosing call.
+func isFieldStore(lhs ast.Expr) bool {
+	switch e := unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		_, ok := unparen(e.X).(*ast.SelectorExpr)
+		return ok
+	}
+	return false
+}
+
+// taintedRef resolves e to a tainted variable it exposes, looking through
+// indexing, slicing, and append. A .Clone() call (or any other method
+// call) launders the taint: the result is fresh memory.
+func taintedRef(pkg *Package, e ast.Expr, tainted map[types.Object]string) (name, src string) {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		obj := identObj(pkg, e)
+		if obj == nil {
+			return "", ""
+		}
+		if s, ok := tainted[obj]; ok {
+			return obj.Name(), s
+		}
+	case *ast.IndexExpr:
+		return taintedRef(pkg, e.X, tainted)
+	case *ast.SliceExpr:
+		return taintedRef(pkg, e.X, tainted)
+	case *ast.CallExpr:
+		// Method calls (Clone and friends) return fresh values; only the
+		// append builtin propagates its arguments' backing memory.
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			for _, arg := range e.Args[1:] {
+				if n, s := taintedRef(pkg, arg, tainted); n != "" {
+					return n, s
+				}
+			}
+		}
+	}
+	return "", ""
+}

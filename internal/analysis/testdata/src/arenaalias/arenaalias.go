@@ -1,0 +1,77 @@
+// Package arenaalias is an analyzer fixture: slab-backed tuples retained
+// past their arena's Reset, and correct transient or cloned uses.
+package arenaalias
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+type sink struct {
+	block []relation.Tuple
+	last  relation.Tuple
+	out   chan relation.Tuple
+}
+
+// keepBlock retains the whole decoded slice in a field.
+func (k *sink) keepBlock(s *relation.Schema, buf []byte, a *core.Arena) error {
+	ts, err := core.DecodeBlockArena(s, buf, a)
+	if err != nil {
+		return err
+	}
+	k.block = ts
+	return nil
+}
+
+// keepElement retains one slab-backed element through append.
+func (k *sink) keepElement(s *relation.Schema, buf []byte, a *core.Arena) error {
+	ts, err := core.DecodeTupleSpanArena(s, buf, 0, 4, a)
+	if err != nil {
+		return err
+	}
+	k.block = append(k.block, ts[0])
+	return nil
+}
+
+// sendCarve sends an arena carve on a channel.
+func (k *sink) sendCarve(a *core.Arena, n int) {
+	tu := a.Tuple(n)
+	k.out <- tu
+}
+
+// goodClone retains a copy, which owns its memory.
+func (k *sink) goodClone(s *relation.Schema, buf []byte, a *core.Arena) error {
+	ts, err := core.DecodeBlockArena(s, buf, a)
+	if err != nil {
+		return err
+	}
+	k.last = ts[0].Clone()
+	return nil
+}
+
+// goodTransient folds over the tuples without retaining them.
+func goodTransient(s *relation.Schema, buf []byte, a *core.Arena) (uint64, error) {
+	ts, err := core.DecodeBlockArena(s, buf, a)
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, tu := range ts {
+		for _, v := range tu {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// suppressed documents a deliberate retention: the arena outlives the
+// struct by construction here.
+func (k *sink) suppressed(s *relation.Schema, buf []byte, a *core.Arena) error {
+	ts, err := core.DecodeBlockArena(s, buf, a)
+	if err != nil {
+		return err
+	}
+	//avqlint:ignore arenaalias the arena is owned by k and never Reset
+	k.block = ts
+	return nil
+}

@@ -72,6 +72,13 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
+// Reset points the reader at buf and rewinds it, letting callers keep a
+// Reader by value (no allocation) on hot decode paths.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
+
 // ReadBits reads n bits (n in [0, 64]) MSB-first.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {

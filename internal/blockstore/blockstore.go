@@ -89,6 +89,13 @@ type Store struct {
 	// met holds pre-resolved obs instruments (see Configure); the zero
 	// value means observability is off and every instrument no-ops.
 	met storeMetrics
+
+	// encBuf is the serial encode path's reusable stream buffer. Mutations
+	// are serialized by the table layer and the parallel pipeline encodes
+	// into its own per-chunk buffers, so encodeInto is the only writer.
+	// The encoded stream is copied onto the page before the next encode,
+	// so reusing the capacity across blocks is safe.
+	encBuf []byte
 }
 
 // New creates an empty store over the pool.
@@ -311,12 +318,15 @@ func (s *Store) appendBlock(m *manifest, tuples []relation.Tuple) (BlockRef, err
 	return BlockRef{Page: id, First: f.First, Count: len(tuples)}, nil
 }
 
-// encodeInto codes tuples into the frame's page.
+// encodeInto codes tuples into the frame's page, reusing the store's
+// encode buffer across blocks (fillFrame copies the stream onto the page
+// before the buffer is touched again).
 func (s *Store) encodeInto(frame *buffer.Frame, tuples []relation.Tuple) error {
-	stream, err := s.timeEncode(tuples)
+	stream, err := s.timeEncode(tuples, s.encBuf[:0])
 	if err != nil {
 		return err
 	}
+	s.encBuf = stream
 	return s.fillFrame(frame, stream)
 }
 
@@ -358,26 +368,44 @@ func (s *Store) writeStream(stream []byte) (storage.PageID, error) {
 // ReadBlock decodes the tuples of the block stored on page id, consulting
 // the decoded-block cache when one is configured.
 func (s *Store) ReadBlock(id storage.PageID) ([]relation.Tuple, error) {
+	return s.ReadBlockArena(id, nil)
+}
+
+// ReadBlockArena is ReadBlock with the decoded tuples carved from the
+// caller's arena (a fresh internal one when a is nil). The tuples alias
+// the arena's slab and are valid only until its next Reset.
+func (s *Store) ReadBlockArena(id storage.PageID, a *core.Arena) ([]relation.Tuple, error) {
 	if _, ok := s.man.Load().pos[id]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
-	return s.decodeBlockCached(id)
+	tuples, _, err := s.decodeBlockCachedHitArena(id, a)
+	return tuples, err
 }
 
 // decodeBlockCached serves a block from the decoded-block cache or decodes
 // it from its page (filling the cache).
 func (s *Store) decodeBlockCached(id storage.PageID) ([]relation.Tuple, error) {
-	tuples, _, err := s.decodeBlockCachedHit(id)
+	tuples, _, err := s.decodeBlockCachedHitArena(id, nil)
 	return tuples, err
 }
 
-// decodeBlockCachedHit is decodeBlockCached, also reporting whether the
-// cache served the block without a page read. Callers always receive
-// tuples they own: cache hits are deep copies and misses are freshly
-// decoded.
+// decodeBlockCachedHit is decodeBlockCachedHitArena with a fresh arena,
+// for callers that keep the allocating contract.
 func (s *Store) decodeBlockCachedHit(id storage.PageID) ([]relation.Tuple, bool, error) {
+	return s.decodeBlockCachedHitArena(id, nil)
+}
+
+// decodeBlockCachedHitArena is decodeBlockCached, also reporting whether
+// the cache served the block without a page read. Callers always receive
+// tuples they own until the arena's next Reset: cache hits are slab copies
+// into the arena and misses are decoded straight into it.
+func (s *Store) decodeBlockCachedHitArena(id storage.PageID, a *core.Arena) ([]relation.Tuple, bool, error) {
+	if a == nil {
+		a = core.NewArena()
+	}
+	n := s.schema.NumAttrs()
 	if c := s.cache; c != nil {
-		if tuples, ok := c.get(id); ok {
+		if tuples, ok := c.get(id, n, a); ok {
 			return tuples, true, nil
 		}
 	}
@@ -395,7 +423,7 @@ func (s *Store) decodeBlockCachedHit(id storage.PageID) ([]relation.Tuple, bool,
 	if s.met.decodeHist != nil {
 		t0 = time.Now()
 	}
-	tuples, err := core.DecodeBlock(s.schema, data[lenPrefix:lenPrefix+int(l)])
+	tuples, err := core.DecodeBlockArena(s.schema, data[lenPrefix:lenPrefix+int(l)], a)
 	if s.met.decodeHist != nil {
 		s.met.decodeHist.Observe(time.Since(t0))
 		s.met.decodes.Inc()
@@ -404,7 +432,7 @@ func (s *Store) decodeBlockCachedHit(id storage.PageID) ([]relation.Tuple, bool,
 		return nil, false, fmt.Errorf("%w: page %d: %w", ErrCorruptBlock, id, err)
 	}
 	if c := s.cache; c != nil {
-		c.put(id, tuples)
+		c.put(id, tuples, n)
 	}
 	return tuples, false, nil
 }

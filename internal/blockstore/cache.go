@@ -3,6 +3,7 @@ package blockstore
 import (
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -11,12 +12,14 @@ import (
 // range selections over the same blocks skip the Golomb/difference decode
 // entirely and pay only a tuple copy.
 //
-// The cache owns its entries: lookups return deep copies, so a caller that
-// scribbles on a returned tuple cannot poison later reads (the serial
+// The cache owns its entries: each block's digits live in one flat uint64
+// slab, and lookups copy that slab into the caller's arena, so a caller
+// that scribbles on a returned tuple cannot poison later reads (the serial
 // decode path hands out fresh tuples per call, and the cached path must be
-// observationally identical). It has its own lock because concurrent
-// readers (table.Sync queries, the parallel scan pipeline) share it while
-// the store itself is only locked for mutation.
+// observationally identical). A hit therefore costs one slab carve plus a
+// memmove per row — no per-tuple allocation. It has its own lock because
+// concurrent readers (table.Sync queries, the parallel scan pipeline)
+// share it while the store itself is only locked for mutation.
 //
 // Invalidation is by page id and happens whenever the store frees a block
 // page (rewrite, split, remove, reset). Page ids are reused by the pagers'
@@ -37,7 +40,8 @@ type blockCache struct {
 
 type cacheEntry struct {
 	id         storage.PageID
-	tuples     []relation.Tuple
+	count      int      // tuples in the block
+	vals       []uint64 // count*arity digits, row-major
 	prev, next *cacheEntry
 }
 
@@ -96,17 +100,19 @@ func (c *blockCache) pushFront(e *cacheEntry) {
 	}
 }
 
-// cloneTuples deep-copies a decoded block.
-func cloneTuples(ts []relation.Tuple) []relation.Tuple {
-	out := make([]relation.Tuple, len(ts))
-	for i, tu := range ts {
-		out[i] = tu.Clone()
+// flattenTuples packs a decoded block's digits into one row-major slab —
+// a single allocation, versus one per tuple for a header-slice deep copy.
+func flattenTuples(ts []relation.Tuple, n int) []uint64 {
+	vals := make([]uint64, 0, len(ts)*n)
+	for _, tu := range ts {
+		vals = append(vals, tu...)
 	}
-	return out
+	return vals
 }
 
-// get returns a deep copy of the cached block, if present.
-func (c *blockCache) get(id storage.PageID) ([]relation.Tuple, bool) {
+// get copies the cached block into the caller's arena, if present. n is
+// the schema arity (every cached block shares the store's schema).
+func (c *blockCache) get(id storage.PageID, n int, a *core.Arena) ([]relation.Tuple, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	if !ok {
@@ -117,21 +123,26 @@ func (c *blockCache) get(id storage.PageID) ([]relation.Tuple, bool) {
 	c.hits++
 	c.unlink(e)
 	c.pushFront(e)
-	tuples := e.tuples
+	vals, count := e.vals, e.count
 	c.mu.Unlock()
-	// Copy outside the lock: the entry's tuples slice is never mutated
-	// after insertion, only replaced wholesale by put.
-	return cloneTuples(tuples), true
+	// Copy outside the lock: the entry's slab is never mutated after
+	// insertion, only replaced wholesale by put.
+	out := a.Tuples(count, n)
+	for i := range out {
+		copy(out[i], vals[i*n:])
+	}
+	return out, true
 }
 
-// put stores a deep copy of the freshly decoded block, evicting the least
+// put stores a slab copy of the freshly decoded block, evicting the least
 // recently used entry when full.
-func (c *blockCache) put(id storage.PageID, tuples []relation.Tuple) {
-	copied := cloneTuples(tuples)
+func (c *blockCache) put(id storage.PageID, tuples []relation.Tuple, n int) {
+	vals := flattenTuples(tuples, n)
+	count := len(tuples)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[id]; ok {
-		e.tuples = copied
+		e.vals, e.count = vals, count
 		c.unlink(e)
 		c.pushFront(e)
 		return
@@ -144,7 +155,7 @@ func (c *blockCache) put(id storage.PageID, tuples []relation.Tuple) {
 		c.unlink(victim)
 		delete(c.entries, victim.id)
 	}
-	e := &cacheEntry{id: id, tuples: copied}
+	e := &cacheEntry{id: id, count: count, vals: vals}
 	c.entries[id] = e
 	c.pushFront(e)
 }

@@ -70,6 +70,9 @@ func (s *Store) Configure(cfg Config) {
 				PartialDecodes: cfg.Obs.Counter("exec.partial_decodes"),
 				FullDecodes:    cfg.Obs.Counter("exec.full_decodes"),
 				Rows:           cfg.Obs.Counter("exec.rows"),
+				ArenaReuses:    cfg.Obs.Counter("exec.arena_reuses"),
+				SlabBytes:      cfg.Obs.Counter("exec.slab_bytes"),
+				FlatHits:       cfg.Obs.Counter("exec.flat_hits"),
 			},
 		}
 	} else {
@@ -100,15 +103,21 @@ type ExecMetrics struct {
 	PartialDecodes *obs.Counter
 	FullDecodes    *obs.Counter
 	Rows           *obs.Counter
+	ArenaReuses    *obs.Counter
+	SlabBytes      *obs.Counter
+	FlatHits       *obs.Counter
 }
 
 // timeEncode wraps core.EncodeBlock with the store's encode instruments.
-func (s *Store) timeEncode(tuples []relation.Tuple) ([]byte, error) {
+// The stream is appended to dst, so callers control buffer reuse: the
+// serial path hands in the store's persistent encode buffer, the parallel
+// path hands in exact-capacity per-chunk buffers.
+func (s *Store) timeEncode(tuples []relation.Tuple, dst []byte) ([]byte, error) {
 	if s.met.encodeHist == nil {
-		return core.EncodeBlock(s.codec, s.schema, tuples, nil)
+		return core.EncodeBlock(s.codec, s.schema, tuples, dst)
 	}
 	t0 := time.Now()
-	stream, err := core.EncodeBlock(s.codec, s.schema, tuples, nil)
+	stream, err := core.EncodeBlock(s.codec, s.schema, tuples, dst)
 	s.met.encodeHist.Observe(time.Since(t0))
 	s.met.encodes.Inc()
 	return stream, err
@@ -203,9 +212,12 @@ func (s *Store) pairCosts(tuples []relation.Tuple) ([]int, error) {
 
 // chunkGreedy partitions tuples into maximal page-sized runs using the
 // pre-computed pair costs — the same greedy rule as repeated MaxFit calls,
-// evaluated on the same Sizer, so the boundaries are identical.
-func (s *Store) chunkGreedy(z *core.Sizer, tuples []relation.Tuple, costs []int) ([][]relation.Tuple, error) {
+// evaluated on the same Sizer, so the boundaries are identical. Alongside
+// each chunk it returns the exact encoded stream size (Sizer.BlockSize is
+// exact), which encodeChunks uses to preallocate streams to capacity.
+func (s *Store) chunkGreedy(z *core.Sizer, tuples []relation.Tuple, costs []int) ([][]relation.Tuple, []int, error) {
 	var chunks [][]relation.Tuple
+	var sizes []int
 	capacity := s.capacity()
 	start, acc := 0, 0
 	for i := range tuples {
@@ -219,20 +231,25 @@ func (s *Store) chunkGreedy(z *core.Sizer, tuples []relation.Tuple, costs []int)
 			continue
 		}
 		if u == 1 {
-			return nil, ErrTupleTooLarge
+			return nil, nil, ErrTupleTooLarge
 		}
 		chunks = append(chunks, tuples[start:i])
+		sizes = append(sizes, z.BlockSize(i-start, acc))
 		start, acc = i, 0
 		if z.BlockSize(1, 0) > capacity {
-			return nil, ErrTupleTooLarge
+			return nil, nil, ErrTupleTooLarge
 		}
 	}
-	return append(chunks, tuples[start:]), nil
+	chunks = append(chunks, tuples[start:])
+	sizes = append(sizes, z.BlockSize(len(tuples)-start, acc))
+	return chunks, sizes, nil
 }
 
 // encodeChunks codes every chunk on the worker pool, returning the streams
-// indexed like the chunks.
-func (s *Store) encodeChunks(chunks [][]relation.Tuple) ([][]byte, error) {
+// indexed like the chunks. Every stream is preallocated to its exact
+// encoded size from the chunker's accounting, so the encoders never
+// reallocate mid-stream.
+func (s *Store) encodeChunks(chunks [][]relation.Tuple, sizes []int) ([][]byte, error) {
 	streams := make([][]byte, len(chunks))
 	workers := min(s.conc, len(chunks))
 	var next atomic.Int64
@@ -247,7 +264,7 @@ func (s *Store) encodeChunks(chunks [][]relation.Tuple) ([][]byte, error) {
 				if i >= len(chunks) {
 					return
 				}
-				stream, err := s.timeEncode(chunks[i])
+				stream, err := s.timeEncode(chunks[i], make([]byte, 0, sizes[i]))
 				if err != nil {
 					firstErr.record(i, err)
 					continue
@@ -294,11 +311,11 @@ func (s *Store) bulkLoadParallel(ctx context.Context, m *manifest, z *core.Sizer
 	if err != nil {
 		return nil, err
 	}
-	chunks, err := s.chunkGreedy(z, tuples, costs)
+	chunks, sizes, err := s.chunkGreedy(z, tuples, costs)
 	if err != nil {
 		return nil, err
 	}
-	streams, err := s.encodeChunks(chunks)
+	streams, err := s.encodeChunks(chunks, sizes)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +331,7 @@ func (s *Store) loadWindowParallel(ctx context.Context, m *manifest, z *core.Siz
 	if err != nil {
 		return nil, window, false, err
 	}
-	chunks, err := s.chunkGreedy(z, window, costs)
+	chunks, sizes, err := s.chunkGreedy(z, window, costs)
 	if err != nil {
 		return nil, window, false, err
 	}
@@ -322,11 +339,12 @@ func (s *Store) loadWindowParallel(ctx context.Context, m *manifest, z *core.Siz
 		// The last chunk could still grow as the stream refills; hold it.
 		tail = chunks[len(chunks)-1]
 		chunks = chunks[:len(chunks)-1]
+		sizes = sizes[:len(sizes)-1]
 		if len(chunks) == 0 {
 			return nil, window, true, nil
 		}
 	}
-	streams, err := s.encodeChunks(chunks)
+	streams, err := s.encodeChunks(chunks, sizes)
 	if err != nil {
 		return nil, window, false, err
 	}

@@ -646,6 +646,7 @@ func BenchmarkBulkLoad(b *testing.B) {
 	schema.SortTuples(tuples)
 	for _, conc := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pager, _ := storage.NewMemPager(8192)
 				pool, _ := buffer.New(pager, nil, 256)

@@ -168,24 +168,37 @@ func (sn *Snapshot) Codec() core.Codec { return sn.s.codec }
 // Release it fails with ErrSnapshotStale: the pages the snapshot pinned
 // may already be recycled.
 func (sn *Snapshot) ReadBlock(i int) (tuples []relation.Tuple, hit bool, err error) {
+	return sn.ReadBlockArena(i, nil)
+}
+
+// ReadBlockArena is ReadBlock with the decoded tuples carved from the
+// caller's arena (a fresh internal one when a is nil). The tuples alias
+// the arena's slab and are valid only until its next Reset.
+func (sn *Snapshot) ReadBlockArena(i int, a *core.Arena) (tuples []relation.Tuple, hit bool, err error) {
 	if sn.released {
 		return nil, false, fmt.Errorf("%w: ReadBlock(%d)", ErrSnapshotStale, i)
 	}
-	return sn.s.decodeBlockCachedHit(sn.m.blocks[i])
+	return sn.s.decodeBlockCachedHitArena(sn.m.blocks[i], a)
 }
 
 // ReadStream copies the i-th block's coded stream off its page, for
 // partial decoding without materializing the block. After Release it
 // fails with ErrSnapshotStale.
 func (sn *Snapshot) ReadStream(i int) ([]byte, error) {
+	return sn.ReadStreamInto(i, nil)
+}
+
+// ReadStreamInto is ReadStream appending into dst (which may be nil),
+// letting per-query buffers absorb the copy across blocks.
+func (sn *Snapshot) ReadStreamInto(i int, dst []byte) ([]byte, error) {
 	if sn.released {
 		return nil, fmt.Errorf("%w: ReadStream(%d)", ErrSnapshotStale, i)
 	}
-	return sn.s.readStream(sn.m.blocks[i])
+	return sn.s.readStream(sn.m.blocks[i], dst)
 }
 
-// readStream copies the coded stream stored on page id.
-func (s *Store) readStream(id storage.PageID) ([]byte, error) {
+// readStream appends a copy of the coded stream stored on page id to dst.
+func (s *Store) readStream(id storage.PageID, dst []byte) ([]byte, error) {
 	frame, err := s.pool.Get(id)
 	if err != nil {
 		return nil, err
@@ -196,7 +209,7 @@ func (s *Store) readStream(id storage.PageID) ([]byte, error) {
 	if l > s.capacity() {
 		err = fmt.Errorf("%w: page %d claims stream of %d bytes", ErrCorruptBlock, id, l)
 	} else {
-		stream = append([]byte(nil), data[lenPrefix:lenPrefix+l]...)
+		stream = append(dst, data[lenPrefix:lenPrefix+l]...)
 	}
 	if uerr := s.pool.Unpin(frame); err == nil {
 		err = uerr

@@ -153,21 +153,32 @@ func EncodeBlock(c Codec, s *relation.Schema, tuples []relation.Tuple, dst []byt
 // DecodeBlock decodes a block stream produced by EncodeBlock. It verifies
 // the checksum, then reconstructs and returns the tuples in phi order.
 func DecodeBlock(s *relation.Schema, buf []byte) ([]relation.Tuple, error) {
+	return DecodeBlockArena(s, buf, nil)
+}
+
+// DecodeBlockArena is DecodeBlock carving every tuple out of the arena
+// instead of the heap. The returned tuples alias the arena's slab and are
+// valid until its next Reset; callers retaining them longer must Clone().
+// A nil arena decodes into a fresh one (one slab for the whole block).
+func DecodeBlockArena(s *relation.Schema, buf []byte, a *Arena) ([]relation.Tuple, error) {
 	body, count, c, err := checkHeader(buf)
 	if err != nil {
 		return nil, err
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	switch c {
 	case CodecRaw:
-		return decodeRaw(s, count, body)
+		return decodeRaw(s, count, body, a)
 	case CodecAVQ:
-		return decodeAVQ(s, count, body)
+		return decodeAVQ(s, count, body, a)
 	case CodecRepOnly:
-		return decodeRepOnly(s, count, body)
+		return decodeRepOnly(s, count, body, a)
 	case CodecDeltaChain:
-		return decodeDeltaChain(s, count, body)
+		return decodeDeltaChain(s, count, body, a)
 	case CodecPacked:
-		return decodePacked(s, count, body)
+		return decodePacked(s, count, body, a)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadCodec, uint8(c))
 	}

@@ -50,6 +50,34 @@ func FuzzDecodeBlock(f *testing.F) {
 				t.Fatalf("partial decode at %d disagrees", idx)
 			}
 		}
+		// The arena kernels must be element-equal to the allocating paths
+		// on every stream the allocating path accepts.
+		a := GetArena()
+		defer PutArena(a)
+		av, err := DecodeBlockArena(s, data, a)
+		if err != nil {
+			t.Fatalf("allocating decode succeeded but arena decode failed: %v", err)
+		}
+		if len(av) != len(tuples) {
+			t.Fatalf("arena decode count %d != %d", len(av), len(tuples))
+		}
+		for i := range av {
+			if s.Compare(av[i], tuples[i]) != 0 {
+				t.Fatalf("arena decode tuple %d disagrees", i)
+			}
+		}
+		if len(tuples) > 0 {
+			a.Reset()
+			span, err := DecodeTupleSpanArena(s, data, 0, len(tuples), a)
+			if err != nil {
+				t.Fatalf("arena span decode failed: %v", err)
+			}
+			for i := range span {
+				if s.Compare(span[i], tuples[i]) != 0 {
+					t.Fatalf("arena span tuple %d disagrees", i)
+				}
+			}
+		}
 		// Re-encode and compare (the tuples are sorted by construction of
 		// any successfully decoded stream for the chained codecs; raw and
 		// rep-only blocks may decode unsorted tuples, so only check when

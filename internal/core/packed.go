@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/ordinal"
@@ -34,6 +35,27 @@ func packedBitWidths(s *relation.Schema) (widths []uint, suffix []int) {
 		suffix[i] = suffix[i+1] + int(widths[i])
 	}
 	return widths, suffix
+}
+
+// packedWidthCache memoizes packedBitWidths per schema so the decode hot
+// path pays no table allocation. Schemas are few and long-lived; entries
+// are never evicted.
+var packedWidthCache sync.Map // *relation.Schema -> *packedWidthEntry
+
+type packedWidthEntry struct {
+	widths []uint
+	suffix []int
+}
+
+func packedBitWidthsCached(s *relation.Schema) (widths []uint, suffix []int) {
+	if v, ok := packedWidthCache.Load(s); ok {
+		e := v.(*packedWidthEntry)
+		return e.widths, e.suffix
+	}
+	w, suf := packedBitWidths(s)
+	v, _ := packedWidthCache.LoadOrStore(s, &packedWidthEntry{widths: w, suffix: suf})
+	e := v.(*packedWidthEntry)
+	return e.widths, e.suffix
 }
 
 // leadingZeroDigits counts the leading all-zero attributes of diff.
@@ -92,8 +114,10 @@ func encodePacked(s *relation.Schema, tuples []relation.Tuple, dst []byte) ([]by
 	return append(dst, w.Bytes()...), nil
 }
 
-// decodePacked reconstructs a packed-AVQ block.
-func decodePacked(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+// decodePacked reconstructs a packed-AVQ block. Like decodeAVQ, the
+// before-group differences are decoded into their output slots and
+// consumed in place, and every tuple is carved from the arena.
+func decodePacked(s *relation.Schema, count int, body []byte, a *Arena) ([]relation.Tuple, error) {
 	if count == 0 {
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in empty block", ErrCorrupt, len(body))
@@ -112,8 +136,10 @@ func decodePacked(s *relation.Schema, count int, body []byte) ([]relation.Tuple,
 	if pos+m > len(body) {
 		return nil, ErrTruncated
 	}
-	rep, err := s.DecodeTuple(body[pos : pos+m])
-	if err != nil {
+	n := s.NumAttrs()
+	out := a.Tuples(count, n)
+	rep := out[mid]
+	if err := s.DecodeTupleInto(rep, body[pos:pos+m]); err != nil {
 		return nil, err
 	}
 	if err := validateDigits(s, rep); err != nil {
@@ -121,58 +147,55 @@ func decodePacked(s *relation.Schema, count int, body []byte) ([]relation.Tuple,
 	}
 	pos += m
 
-	n := s.NumAttrs()
-	widths, _ := packedBitWidths(s)
+	widths, _ := packedBitWidthsCached(s)
 	lzWidth := bitio.BitsFor(uint64(n) + 1)
-	r := bitio.NewReader(body[pos:])
-	readDiff := func() (relation.Tuple, error) {
+	var r bitio.Reader
+	r.Reset(body[pos:])
+	readDiff := func(d relation.Tuple) error {
 		lz64, err := r.ReadBits(lzWidth)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
 		lz := int(lz64)
 		if lz > n {
-			return nil, fmt.Errorf("%w: leading-zero digit count %d exceeds arity %d", ErrCorrupt, lz, n)
+			return fmt.Errorf("%w: leading-zero digit count %d exceeds arity %d", ErrCorrupt, lz, n)
 		}
-		d := make(relation.Tuple, n)
+		// Arena tuples are not zeroed; clear the leading-zero digits
+		// explicitly.
+		for i := 0; i < lz; i++ {
+			d[i] = 0
+		}
 		for i := lz; i < n; i++ {
 			v, err := r.ReadBits(widths[i])
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+				return fmt.Errorf("%w: %v", ErrTruncated, err)
 			}
 			if v >= s.Domain(i).Size {
-				return nil, fmt.Errorf("%w: digit %d value %d outside radix %d", ErrCorrupt, i, v, s.Domain(i).Size)
+				return fmt.Errorf("%w: digit %d value %d outside radix %d", ErrCorrupt, i, v, s.Domain(i).Size)
 			}
 			d[i] = v
 		}
-		return d, nil
+		return nil
 	}
 
-	out := make([]relation.Tuple, count)
-	out[mid] = rep
-	before := make([]relation.Tuple, mid)
-	for i := range before {
-		if before[i], err = readDiff(); err != nil {
+	for i := 0; i < mid; i++ {
+		if err := readDiff(out[i]); err != nil {
 			return nil, err
 		}
 	}
 	for i := mid - 1; i >= 0; i-- {
-		t := make(relation.Tuple, n)
-		if _, err := ordinal.Sub(s, t, out[i+1], before[i]); err != nil {
+		if _, err := ordinal.Sub(s, out[i], out[i+1], out[i]); err != nil {
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
-		out[i] = t
 	}
+	d := a.Tuple(n)
 	for i := mid + 1; i < count; i++ {
-		d, err := readDiff()
-		if err != nil {
+		if err := readDiff(d); err != nil {
 			return nil, err
 		}
-		t := make(relation.Tuple, n)
-		if _, err := ordinal.Add(s, t, out[i-1], d); err != nil {
+		if _, err := ordinal.Add(s, out[i], out[i-1], d); err != nil {
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
-		out[i] = t
 	}
 	if r.Remaining() >= 8 {
 		return nil, fmt.Errorf("%w: %d trailing bits after block payload", ErrCorrupt, r.Remaining())

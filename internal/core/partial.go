@@ -24,6 +24,13 @@ import (
 //	CodecRepOnly    O(idx) to skip earlier diffs, one subtraction/addition
 //	CodecDeltaChain O(idx) chain steps from the first tuple
 func DecodeTupleAt(s *relation.Schema, buf []byte, idx int) (relation.Tuple, error) {
+	return DecodeTupleAtArena(s, buf, idx, nil)
+}
+
+// DecodeTupleAtArena is DecodeTupleAt carving its result (and scratch) out
+// of the arena. The returned tuple aliases the arena's slab and is valid
+// until its next Reset. A nil arena decodes into a fresh one.
+func DecodeTupleAtArena(s *relation.Schema, buf []byte, idx int, a *Arena) (relation.Tuple, error) {
 	body, count, c, err := checkHeader(buf)
 	if err != nil {
 		return nil, err
@@ -31,14 +38,17 @@ func DecodeTupleAt(s *relation.Schema, buf []byte, idx int) (relation.Tuple, err
 	if idx < 0 || idx >= count {
 		return nil, fmt.Errorf("core: tuple index %d out of range [0,%d)", idx, count)
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	switch c {
 	case CodecRaw:
 		m := s.RowSize()
 		if len(body) != count*m {
 			return nil, fmt.Errorf("%w: raw payload is %d bytes, want %d", ErrCorrupt, len(body), count*m)
 		}
-		t, err := s.DecodeTuple(body[idx*m:])
-		if err != nil {
+		t := a.Tuple(s.NumAttrs())
+		if err := s.DecodeTupleInto(t, body[idx*m:]); err != nil {
 			return nil, err
 		}
 		if err := validateDigits(s, t); err != nil {
@@ -46,15 +56,15 @@ func DecodeTupleAt(s *relation.Schema, buf []byte, idx int) (relation.Tuple, err
 		}
 		return t, nil
 	case CodecAVQ:
-		return decodeAVQAt(s, count, body, idx)
+		return decodeAVQAt(s, count, body, idx, a)
 	case CodecRepOnly:
-		return decodeRepOnlyAt(s, count, body, idx)
+		return decodeRepOnlyAt(s, count, body, idx, a)
 	case CodecDeltaChain:
-		return decodeDeltaChainAt(s, count, body, idx)
+		return decodeDeltaChainAt(s, count, body, idx, a)
 	case CodecPacked:
 		// The packed stream has no per-diff byte framing to skip over
 		// cheaply; reuse the full decode and index. Still O(block).
-		tuples, err := decodePacked(s, count, body)
+		tuples, err := decodePacked(s, count, body, a)
 		if err != nil {
 			return nil, err
 		}
@@ -65,8 +75,9 @@ func DecodeTupleAt(s *relation.Schema, buf []byte, idx int) (relation.Tuple, err
 }
 
 // readAVQPrefix parses the representative index and tuple shared by the
-// AVQ and rep-only payloads, returning the byte position after them.
-func readAVQPrefix(s *relation.Schema, count int, body []byte) (mid int, rep relation.Tuple, pos int, err error) {
+// AVQ and rep-only payloads, returning the byte position after them. The
+// representative is carved from the arena.
+func readAVQPrefix(s *relation.Schema, count int, body []byte, a *Arena) (mid int, rep relation.Tuple, pos int, err error) {
 	mid64, pos, err := readUvarint(body, 0)
 	if err != nil {
 		return 0, nil, 0, fmt.Errorf("%w: representative index: %v", ErrCorrupt, err)
@@ -78,8 +89,8 @@ func readAVQPrefix(s *relation.Schema, count int, body []byte) (mid int, rep rel
 	if pos+m > len(body) {
 		return 0, nil, 0, ErrTruncated
 	}
-	rep, err = s.DecodeTuple(body[pos : pos+m])
-	if err != nil {
+	rep = a.Tuple(s.NumAttrs())
+	if err := s.DecodeTupleInto(rep, body[pos:pos+m]); err != nil {
 		return 0, nil, 0, err
 	}
 	if err := validateDigits(s, rep); err != nil {
@@ -108,8 +119,8 @@ func skipDiffs(s *relation.Schema, body []byte, pos, n int) (int, error) {
 }
 
 // decodeAVQAt walks the chain from the representative to idx.
-func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int) (relation.Tuple, error) {
-	mid, rep, pos, err := readAVQPrefix(s, count, body)
+func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int, a *Arena) (relation.Tuple, error) {
+	mid, rep, pos, err := readAVQPrefix(s, count, body, a)
 	if err != nil {
 		return nil, err
 	}
@@ -117,9 +128,8 @@ func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int) (relation.
 		return rep, nil
 	}
 	n := s.NumAttrs()
-	scratch := make([]byte, s.RowSize())
-	d := make(relation.Tuple, n)
-	acc := rep
+	scratch := a.Scratch(s.RowSize())
+	d := a.Tuple(n)
 	if idx < mid {
 		// Differences for positions idx..mid-1 are stored at positions
 		// idx..mid-1 of the first group; accumulate them backward from the
@@ -127,8 +137,8 @@ func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int) (relation.
 		if pos, err = skipDiffs(s, body, pos, idx); err != nil {
 			return nil, err
 		}
-		out := make(relation.Tuple, n)
-		copy(out, acc)
+		out := a.Tuple(n)
+		copy(out, rep)
 		// Sum the needed diffs, then subtract once each (exact arithmetic
 		// requires sequential subtraction; sums can overflow the space).
 		for i := idx; i < mid; i++ {
@@ -148,8 +158,8 @@ func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int) (relation.
 	if pos, err = skipDiffs(s, body, pos, mid); err != nil {
 		return nil, err
 	}
-	out := make(relation.Tuple, n)
-	copy(out, acc)
+	out := a.Tuple(n)
+	copy(out, rep)
 	for i := mid + 1; i <= idx; i++ {
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
 			return nil, err
@@ -165,8 +175,8 @@ func decodeAVQAt(s *relation.Schema, count int, body []byte, idx int) (relation.
 }
 
 // decodeRepOnlyAt skips to the idx-th difference and applies it once.
-func decodeRepOnlyAt(s *relation.Schema, count int, body []byte, idx int) (relation.Tuple, error) {
-	mid, rep, pos, err := readAVQPrefix(s, count, body)
+func decodeRepOnlyAt(s *relation.Schema, count int, body []byte, idx int, a *Arena) (relation.Tuple, error) {
+	mid, rep, pos, err := readAVQPrefix(s, count, body, a)
 	if err != nil {
 		return nil, err
 	}
@@ -183,15 +193,15 @@ func decodeRepOnlyAt(s *relation.Schema, count int, body []byte, idx int) (relat
 		return nil, err
 	}
 	n := s.NumAttrs()
-	scratch := make([]byte, s.RowSize())
-	d := make(relation.Tuple, n)
+	scratch := a.Scratch(s.RowSize())
+	d := a.Tuple(n)
 	if _, err = readDiff(s, body, pos, d, scratch); err != nil {
 		return nil, err
 	}
 	if err := validateDigits(s, d); err != nil {
 		return nil, err
 	}
-	out := make(relation.Tuple, n)
+	out := a.Tuple(n)
 	if idx < mid {
 		_, err = ordinal.Sub(s, out, rep, d)
 	} else {
@@ -217,6 +227,14 @@ func decodeRepOnlyAt(s *relation.Schema, count int, body []byte, idx int) (relat
 //	CodecDeltaChain O(to)         chain steps from the first tuple
 //	CodecPacked     O(u)          full decode (no per-diff byte framing)
 func DecodeTupleSpan(s *relation.Schema, buf []byte, from, to int) ([]relation.Tuple, error) {
+	return DecodeTupleSpanArena(s, buf, from, to, nil)
+}
+
+// DecodeTupleSpanArena is DecodeTupleSpan carving every tuple (and all
+// chain scratch) out of the arena. The returned tuples alias the arena's
+// slab and are valid until its next Reset. A nil arena decodes into a
+// fresh one.
+func DecodeTupleSpanArena(s *relation.Schema, buf []byte, from, to int, a *Arena) ([]relation.Tuple, error) {
 	body, count, c, err := checkHeader(buf)
 	if err != nil {
 		return nil, err
@@ -227,32 +245,33 @@ func DecodeTupleSpan(s *relation.Schema, buf []byte, from, to int) ([]relation.T
 	if from == to {
 		return nil, nil
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	switch c {
 	case CodecRaw:
 		m := s.RowSize()
 		if len(body) != count*m {
 			return nil, fmt.Errorf("%w: raw payload is %d bytes, want %d", ErrCorrupt, len(body), count*m)
 		}
-		out := make([]relation.Tuple, 0, to-from)
+		out := a.Tuples(to-from, s.NumAttrs())
 		for i := from; i < to; i++ {
-			t, err := s.DecodeTuple(body[i*m:])
-			if err != nil {
+			if err := s.DecodeTupleInto(out[i-from], body[i*m:]); err != nil {
 				return nil, err
 			}
-			if err := validateDigits(s, t); err != nil {
+			if err := validateDigits(s, out[i-from]); err != nil {
 				return nil, err
 			}
-			out = append(out, t)
 		}
 		return out, nil
 	case CodecAVQ:
-		return decodeAVQSpan(s, count, body, from, to)
+		return decodeAVQSpan(s, count, body, from, to, a)
 	case CodecRepOnly:
-		return decodeRepOnlySpan(s, count, body, from, to)
+		return decodeRepOnlySpan(s, count, body, from, to, a)
 	case CodecDeltaChain:
-		return decodeDeltaChainSpan(s, body, from, to)
+		return decodeDeltaChainSpan(s, body, from, to, a)
 	case CodecPacked:
-		tuples, err := decodePacked(s, count, body)
+		tuples, err := decodePacked(s, count, body, a)
 		if err != nil {
 			return nil, err
 		}
@@ -264,14 +283,14 @@ func DecodeTupleSpan(s *relation.Schema, buf []byte, from, to int) ([]relation.T
 
 // decodeAVQSpan reconstructs positions [from, to) by walking the two
 // chain groups outward from the median representative.
-func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]relation.Tuple, error) {
-	mid, rep, pos, err := readAVQPrefix(s, count, body)
+func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int, a *Arena) ([]relation.Tuple, error) {
+	n := s.NumAttrs()
+	out := a.Tuples(to-from, n)
+	mid, rep, pos, err := readAVQPrefix(s, count, body, a)
 	if err != nil {
 		return nil, err
 	}
-	n := s.NumAttrs()
-	scratch := make([]byte, s.RowSize())
-	out := make([]relation.Tuple, to-from)
+	scratch := a.Scratch(s.RowSize())
 
 	if from < mid {
 		// The first group stores d[i] = t[i+1] - t[i] at position i.
@@ -280,27 +299,23 @@ func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]
 		if pos, err = skipDiffs(s, body, pos, from); err != nil {
 			return nil, err
 		}
-		diffs := make([]relation.Tuple, mid-from)
+		diffs := a.Tuples(mid-from, n)
 		for i := from; i < mid; i++ {
-			d := make(relation.Tuple, n)
-			if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
+			if pos, err = readDiff(s, body, pos, diffs[i-from], scratch); err != nil {
 				return nil, err
 			}
-			if err := validateDigits(s, d); err != nil {
+			if err := validateDigits(s, diffs[i-from]); err != nil {
 				return nil, err
 			}
-			diffs[i-from] = d
 		}
-		acc := make(relation.Tuple, n)
+		acc := a.Tuple(n)
 		copy(acc, rep)
 		for i := mid - 1; i >= from; i-- {
 			if _, err := ordinal.Sub(s, acc, acc, diffs[i-from]); err != nil {
 				return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 			}
 			if i < to {
-				t := make(relation.Tuple, n)
-				copy(t, acc)
-				out[i-from] = t
+				copy(out[i-from], acc)
 			}
 		}
 		// pos now sits at the start of the after group.
@@ -309,9 +324,7 @@ func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]
 	}
 
 	if from <= mid && mid < to {
-		t := make(relation.Tuple, n)
-		copy(t, rep)
-		out[mid-from] = t
+		copy(out[mid-from], rep)
 	}
 	if to <= mid+1 {
 		return out, nil
@@ -320,9 +333,9 @@ func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]
 	// After group: t[i] = t[i-1] + d[i]. Each value depends on its
 	// predecessor, so the chain is replayed from the representative even
 	// when from > mid+1; only positions >= from are emitted.
-	acc := make(relation.Tuple, n)
+	acc := a.Tuple(n)
 	copy(acc, rep)
-	d := make(relation.Tuple, n)
+	d := a.Tuple(n)
 	for i := mid + 1; i < to; i++ {
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
 			return nil, err
@@ -334,9 +347,7 @@ func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
 		if i >= from {
-			t := make(relation.Tuple, n)
-			copy(t, acc)
-			out[i-from] = t
+			copy(out[i-from], acc)
 		}
 	}
 	return out, nil
@@ -344,14 +355,14 @@ func decodeAVQSpan(s *relation.Schema, count int, body []byte, from, to int) ([]
 
 // decodeRepOnlySpan skips to the span's first difference and applies each
 // once against the representative.
-func decodeRepOnlySpan(s *relation.Schema, count int, body []byte, from, to int) ([]relation.Tuple, error) {
-	mid, rep, pos, err := readAVQPrefix(s, count, body)
+func decodeRepOnlySpan(s *relation.Schema, count int, body []byte, from, to int, a *Arena) ([]relation.Tuple, error) {
+	n := s.NumAttrs()
+	out := a.Tuples(to-from, n)
+	mid, rep, pos, err := readAVQPrefix(s, count, body, a)
 	if err != nil {
 		return nil, err
 	}
-	n := s.NumAttrs()
-	scratch := make([]byte, s.RowSize())
-	out := make([]relation.Tuple, to-from)
+	scratch := a.Scratch(s.RowSize())
 	// Differences are stored in block order with the representative's slot
 	// omitted.
 	skip := from
@@ -361,12 +372,10 @@ func decodeRepOnlySpan(s *relation.Schema, count int, body []byte, from, to int)
 	if pos, err = skipDiffs(s, body, pos, skip); err != nil {
 		return nil, err
 	}
-	d := make(relation.Tuple, n)
+	d := a.Tuple(n)
 	for i := from; i < to; i++ {
 		if i == mid {
-			t := make(relation.Tuple, n)
-			copy(t, rep)
-			out[i-from] = t
+			copy(out[i-from], rep)
 			continue
 		}
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
@@ -375,44 +384,41 @@ func decodeRepOnlySpan(s *relation.Schema, count int, body []byte, from, to int)
 		if err := validateDigits(s, d); err != nil {
 			return nil, err
 		}
-		t := make(relation.Tuple, n)
 		if i < mid {
-			_, err = ordinal.Sub(s, t, rep, d)
+			_, err = ordinal.Sub(s, out[i-from], rep, d)
 		} else {
-			_, err = ordinal.Add(s, t, rep, d)
+			_, err = ordinal.Add(s, out[i-from], rep, d)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
-		out[i-from] = t
 	}
 	return out, nil
 }
 
 // decodeDeltaChainSpan walks the chain from the first tuple through to-1,
 // emitting positions >= from.
-func decodeDeltaChainSpan(s *relation.Schema, body []byte, from, to int) ([]relation.Tuple, error) {
+func decodeDeltaChainSpan(s *relation.Schema, body []byte, from, to int, a *Arena) ([]relation.Tuple, error) {
 	m := s.RowSize()
 	if len(body) < m {
 		return nil, ErrTruncated
 	}
-	first, err := s.DecodeTuple(body)
-	if err != nil {
-		return nil, err
-	}
-	if err := validateDigits(s, first); err != nil {
-		return nil, err
-	}
 	n := s.NumAttrs()
-	out := make([]relation.Tuple, to-from)
+	out := a.Tuples(to-from, n)
+	acc := a.Tuple(n)
+	if err := s.DecodeTupleInto(acc, body); err != nil {
+		return nil, err
+	}
+	if err := validateDigits(s, acc); err != nil {
+		return nil, err
+	}
 	if from == 0 {
-		out[0] = first
+		copy(out[0], acc)
 	}
 	pos := m
-	scratch := make([]byte, m)
-	d := make(relation.Tuple, n)
-	acc := make(relation.Tuple, n)
-	copy(acc, first)
+	scratch := a.Scratch(m)
+	d := a.Tuple(n)
+	var err error
 	for i := 1; i < to; i++ {
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
 			return nil, err
@@ -424,9 +430,7 @@ func decodeDeltaChainSpan(s *relation.Schema, body []byte, from, to int) ([]rela
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
 		if i >= from {
-			t := make(relation.Tuple, n)
-			copy(t, acc)
-			out[i-from] = t
+			copy(out[i-from], acc)
 		}
 	}
 	return out, nil
@@ -438,14 +442,24 @@ func decodeDeltaChainSpan(s *relation.Schema, body []byte, from, to int) ([]rela
 // false everywhere. Probes use DecodeTupleAt, so the search touches
 // O(log u) positions instead of decoding the block.
 func SearchBlock(s *relation.Schema, buf []byte, pred func(relation.Tuple) bool) (int, error) {
+	return SearchBlockArena(s, buf, pred, nil)
+}
+
+// SearchBlockArena is SearchBlock with every probe decoded into the arena.
+// Tuples passed to pred alias the arena's slab and are invalid after the
+// call; pred must not retain them.
+func SearchBlockArena(s *relation.Schema, buf []byte, pred func(relation.Tuple) bool, a *Arena) (int, error) {
 	_, count, _, err := checkHeader(buf)
 	if err != nil {
 		return 0, err
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	lo, hi := 0, count
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		t, err := DecodeTupleAt(s, buf, mid)
+		t, err := DecodeTupleAtArena(s, buf, mid, a)
 		if err != nil {
 			return 0, err
 		}
@@ -459,27 +473,26 @@ func SearchBlock(s *relation.Schema, buf []byte, pred func(relation.Tuple) bool)
 }
 
 // decodeDeltaChainAt walks the chain from the first tuple to idx.
-func decodeDeltaChainAt(s *relation.Schema, count int, body []byte, idx int) (relation.Tuple, error) {
+func decodeDeltaChainAt(s *relation.Schema, count int, body []byte, idx int, a *Arena) (relation.Tuple, error) {
 	m := s.RowSize()
 	if len(body) < m {
 		return nil, ErrTruncated
 	}
-	first, err := s.DecodeTuple(body)
-	if err != nil {
+	n := s.NumAttrs()
+	out := a.Tuple(n)
+	if err := s.DecodeTupleInto(out, body); err != nil {
 		return nil, err
 	}
-	if err := validateDigits(s, first); err != nil {
+	if err := validateDigits(s, out); err != nil {
 		return nil, err
 	}
 	if idx == 0 {
-		return first, nil
+		return out, nil
 	}
 	pos := m
-	n := s.NumAttrs()
-	scratch := make([]byte, m)
-	d := make(relation.Tuple, n)
-	out := make(relation.Tuple, n)
-	copy(out, first)
+	scratch := a.Scratch(m)
+	d := a.Tuple(n)
+	var err error
 	for i := 1; i <= idx; i++ {
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
 			return nil, err

@@ -31,21 +31,19 @@ func encodeRaw(s *relation.Schema, tuples []relation.Tuple, dst []byte) ([]byte,
 	return dst, nil
 }
 
-func decodeRaw(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+func decodeRaw(s *relation.Schema, count int, body []byte, a *Arena) ([]relation.Tuple, error) {
 	m := s.RowSize()
 	if len(body) != count*m {
 		return nil, fmt.Errorf("%w: raw payload is %d bytes, want %d", ErrCorrupt, len(body), count*m)
 	}
-	out := make([]relation.Tuple, count)
+	out := a.Tuples(count, s.NumAttrs())
 	for i := 0; i < count; i++ {
-		t, err := s.DecodeTuple(body[i*m:])
-		if err != nil {
+		if err := s.DecodeTupleInto(out[i], body[i*m:]); err != nil {
 			return nil, err
 		}
-		if err := validateDigits(s, t); err != nil {
+		if err := validateDigits(s, out[i]); err != nil {
 			return nil, err
 		}
-		out[i] = t
 	}
 	return out, nil
 }
@@ -84,7 +82,7 @@ func encodeRepOnly(s *relation.Schema, tuples []relation.Tuple, dst []byte) ([]b
 	return dst, nil
 }
 
-func decodeRepOnly(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+func decodeRepOnly(s *relation.Schema, count int, body []byte, a *Arena) ([]relation.Tuple, error) {
 	if count == 0 {
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in empty block", ErrCorrupt, len(body))
@@ -102,19 +100,18 @@ func decodeRepOnly(s *relation.Schema, count int, body []byte) ([]relation.Tuple
 	if pos+m > len(body) {
 		return nil, ErrTruncated
 	}
-	rep, err := s.DecodeTuple(body[pos : pos+m])
-	if err != nil {
+	n := s.NumAttrs()
+	out := a.Tuples(count, n)
+	rep := out[int(mid)]
+	if err := s.DecodeTupleInto(rep, body[pos:pos+m]); err != nil {
 		return nil, err
 	}
 	if err := validateDigits(s, rep); err != nil {
 		return nil, err
 	}
 	pos += m
-	out := make([]relation.Tuple, count)
-	out[int(mid)] = rep
-	n := s.NumAttrs()
-	scratch := make([]byte, m)
-	d := make(relation.Tuple, n)
+	scratch := a.Scratch(m)
+	d := a.Tuple(n)
 	for i := 0; i < count; i++ {
 		if i == int(mid) {
 			continue
@@ -125,16 +122,14 @@ func decodeRepOnly(s *relation.Schema, count int, body []byte) ([]relation.Tuple
 		if err := validateDigits(s, d); err != nil {
 			return nil, err
 		}
-		t := make(relation.Tuple, n)
 		if i < int(mid) {
-			_, err = ordinal.Sub(s, t, rep, d)
+			_, err = ordinal.Sub(s, out[i], rep, d)
 		} else {
-			_, err = ordinal.Add(s, t, rep, d)
+			_, err = ordinal.Add(s, out[i], rep, d)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
-		out[i] = t
 	}
 	if pos != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after block payload", ErrCorrupt, len(body)-pos)
@@ -164,7 +159,7 @@ func encodeDeltaChain(s *relation.Schema, tuples []relation.Tuple, dst []byte) (
 	return dst, nil
 }
 
-func decodeDeltaChain(s *relation.Schema, count int, body []byte) ([]relation.Tuple, error) {
+func decodeDeltaChain(s *relation.Schema, count int, body []byte, a *Arena) ([]relation.Tuple, error) {
 	if count == 0 {
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in empty block", ErrCorrupt, len(body))
@@ -175,19 +170,18 @@ func decodeDeltaChain(s *relation.Schema, count int, body []byte) ([]relation.Tu
 	if len(body) < m {
 		return nil, ErrTruncated
 	}
-	first, err := s.DecodeTuple(body)
-	if err != nil {
+	n := s.NumAttrs()
+	out := a.Tuples(count, n)
+	if err := s.DecodeTupleInto(out[0], body); err != nil {
 		return nil, err
 	}
-	if err := validateDigits(s, first); err != nil {
+	if err := validateDigits(s, out[0]); err != nil {
 		return nil, err
 	}
 	pos := m
-	out := make([]relation.Tuple, count)
-	out[0] = first
-	n := s.NumAttrs()
-	scratch := make([]byte, m)
-	d := make(relation.Tuple, n)
+	scratch := a.Scratch(m)
+	d := a.Tuple(n)
+	var err error
 	for i := 1; i < count; i++ {
 		if pos, err = readDiff(s, body, pos, d, scratch); err != nil {
 			return nil, err
@@ -195,11 +189,9 @@ func decodeDeltaChain(s *relation.Schema, count int, body []byte) ([]relation.Tu
 		if err := validateDigits(s, d); err != nil {
 			return nil, err
 		}
-		t := make(relation.Tuple, n)
-		if _, err := ordinal.Add(s, t, out[i-1], d); err != nil {
+		if _, err := ordinal.Add(s, out[i], out[i-1], d); err != nil {
 			return nil, fmt.Errorf("%w: reconstructing tuple %d: %v", ErrCorrupt, i, err)
 		}
-		out[i] = t
 	}
 	if pos != len(body) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after block payload", ErrCorrupt, len(body)-pos)

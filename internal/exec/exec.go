@@ -47,6 +47,12 @@ type Plan struct {
 	// differential tests use it to pit the two decode paths against each
 	// other.
 	NoPartial bool
+	// Transient declares that emit never retains a tuple (or sub-slice of
+	// one) past the call: the executor then decodes every block into one
+	// pooled arena that is Reset between blocks, making the steady-state
+	// pass allocation-free. Aggregation-style passes (count, sum, group
+	// keys copied out) set it; materializing selections must not.
+	Transient bool
 }
 
 // Stats reports what a pass cost. BlocksRead counts pages actually
@@ -69,6 +75,16 @@ type Stats struct {
 	FullDecodes    int
 	// Matches counts tuples passed to emit.
 	Matches int
+	// ArenaReuses counts blocks decoded into an arena whose slab capacity
+	// was carried over from an earlier block (Transient passes only).
+	ArenaReuses int
+	// SlabBytes is the arena slab capacity backing the pass: the pooled
+	// arena's final footprint for Transient passes, the sum of per-block
+	// arena footprints otherwise.
+	SlabBytes int
+	// FlatPathHits counts straddling blocks whose span was located by the
+	// flat-ordinal (single-uint64 φ) walk instead of chain-probe search.
+	FlatPathHits int
 }
 
 // boundOf splits the plan's conjunction into the clustering bound (the
@@ -119,10 +135,52 @@ func foldStats(sn *blockstore.Snapshot, st Stats) {
 	m.PartialDecodes.Add(int64(st.PartialDecodes))
 	m.FullDecodes.Add(int64(st.FullDecodes))
 	m.Rows.Add(int64(st.Matches))
+	if m.ArenaReuses != nil {
+		m.ArenaReuses.Add(int64(st.ArenaReuses))
+		m.SlabBytes.Add(int64(st.SlabBytes))
+		m.FlatHits.Add(int64(st.FlatPathHits))
+	}
+}
+
+// pass carries one streaming pass's per-block scratch: the stats being
+// accumulated, the pooled arena for Transient plans, and the reusable
+// stream buffer the partial path reads coded blocks into.
+type pass struct {
+	sn        *blockstore.Snapshot
+	st        Stats
+	pooled    *core.Arena // non-nil iff the plan is Transient
+	streamBuf []byte      // partial path: coded-stream copy, reused per block
+}
+
+// arena returns the arena the next block decodes into: the pooled one,
+// Reset (its slab capacity surviving), for Transient plans; a fresh arena
+// otherwise, since the caller may retain the emitted tuples indefinitely.
+func (p *pass) arena() *core.Arena {
+	if p.pooled != nil {
+		if p.pooled.SlabBytes() > 0 {
+			p.st.ArenaReuses++
+		}
+		p.pooled.Reset()
+		return p.pooled
+	}
+	return core.NewArena()
 }
 
 func runContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit func(relation.Tuple) bool) (Stats, error) {
-	st := Stats{BlocksTotal: sn.NumBlocks()}
+	p := &pass{sn: sn, st: Stats{BlocksTotal: sn.NumBlocks()}}
+	if plan.Transient {
+		p.pooled = core.GetArena()
+		defer core.PutArena(p.pooled)
+	}
+	err := p.run(ctx, plan, emit)
+	if p.pooled != nil {
+		p.st.SlabBytes += p.pooled.SlabBytes()
+	}
+	return p.st, err
+}
+
+func (p *pass) run(ctx context.Context, plan Plan, emit func(relation.Tuple) bool) error {
+	sn, st := p.sn, &p.st
 	bound, rest := boundOf(plan.Preds)
 	// Packed blocks have no per-tuple chain entry points worth walking; a
 	// span decode degenerates to a full decode, so skip the partial path.
@@ -130,7 +188,7 @@ func runContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit fu
 	n := sn.NumBlocks()
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
-			return st, err
+			return err
 		}
 		if plan.Candidates != nil {
 			if _, ok := plan.Candidates[sn.Block(i)]; !ok {
@@ -144,7 +202,7 @@ func runContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit fu
 			// beyond the range, every later block does too.
 			if f.First[0] > bound.Hi {
 				st.BlocksPruned += countCandidates(sn, plan.Candidates, i, n)
-				return st, nil
+				return nil
 			}
 			if f.Last[0] < bound.Lo {
 				st.BlocksPruned++
@@ -156,23 +214,23 @@ func runContext(ctx context.Context, sn *blockstore.Snapshot, plan Plan, emit fu
 		var stop bool
 		var err error
 		if straddle && partialOK {
-			stop, err = runPartial(sn, i, &st, *bound, rest, emit)
+			stop, err = p.runPartial(i, *bound, rest, emit)
 		} else {
-			stop, err = runFull(sn, i, &st, plan.Preds, bound, emit)
+			stop, err = p.runFull(i, plan.Preds, bound, emit)
 		}
 		if err != nil {
-			return st, err
+			return err
 		}
 		if stop {
-			return st, nil
+			return nil
 		}
 		if bound != nil && known && f.Last[0] > bound.Hi {
 			// The range ends inside this block; the remainder is prunable.
 			st.BlocksPruned += countCandidates(sn, plan.Candidates, i+1, n)
-			return st, nil
+			return nil
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // countCandidates counts candidate blocks in positions [from, n): the
@@ -190,33 +248,59 @@ func countCandidates(sn *blockstore.Snapshot, cand map[storage.PageID]struct{}, 
 	return c
 }
 
-// runPartial decodes only the qualifying span of a straddling block:
-// binary search on the clustering attribute finds the span boundaries
-// with O(log u) partial-decode probes, then one span decode materializes
-// exactly the qualifying run. Tuples in the span satisfy the bound by
-// construction; only the residual conjuncts filter.
-func runPartial(sn *blockstore.Snapshot, i int, st *Stats, bound Pred, rest []Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
-	stream, err := sn.ReadStream(i)
+// runPartial decodes only the qualifying span of a straddling block. On a
+// flat schema the span boundaries come from one ordinal-space walk
+// (core.PhiSpan): the block's φ sequence is scanned as plain uint64s, so
+// the bound is evaluated before any tuple is materialized. Otherwise
+// binary search on the clustering attribute finds the boundaries with
+// O(log u) partial-decode probes. Either way one span decode then
+// materializes exactly the qualifying run; tuples in the span satisfy the
+// bound by construction and only the residual conjuncts filter.
+func (p *pass) runPartial(i int, bound Pred, rest []Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
+	sn, st := p.sn, &p.st
+	stream, err := sn.ReadStreamInto(i, p.streamBuf[:0])
 	if err != nil {
 		return false, err
 	}
+	p.streamBuf = stream
 	st.BlocksRead++
 	st.PartialDecodes++
 	s := sn.Schema()
-	start, err := core.SearchBlock(s, stream, func(tu relation.Tuple) bool { return tu[0] >= bound.Lo })
-	if err != nil {
-		return false, err
-	}
-	end, err := core.SearchBlock(s, stream, func(tu relation.Tuple) bool { return tu[0] > bound.Hi })
-	if err != nil {
-		return false, err
+	a := p.arena()
+	var start, end int
+	if w, ok := s.FlatWeights(); ok {
+		// The clustering bound [lo, hi] on attribute 0 is exactly the φ
+		// interval [lo*w0, hi*w0 + (w0-1)]: every tuple with A_0 in range
+		// lands there regardless of its remaining digits. Clamp hi to the
+		// domain first so the products stay inside the (64-bit) space.
+		hi := bound.Hi
+		if limit := s.Domain(0).Size - 1; hi > limit {
+			hi = limit
+		}
+		start, end, err = core.PhiSpan(s, stream, bound.Lo*w[0], hi*w[0]+(w[0]-1), a)
+		if err != nil {
+			return false, err
+		}
+		st.FlatPathHits++
+	} else {
+		start, err = core.SearchBlockArena(s, stream, func(tu relation.Tuple) bool { return tu[0] >= bound.Lo }, a)
+		if err != nil {
+			return false, err
+		}
+		end, err = core.SearchBlockArena(s, stream, func(tu relation.Tuple) bool { return tu[0] > bound.Hi }, a)
+		if err != nil {
+			return false, err
+		}
 	}
 	if start >= end {
 		return false, nil
 	}
-	span, err := core.DecodeTupleSpan(s, stream, start, end)
+	span, err := core.DecodeTupleSpanArena(s, stream, start, end, a)
 	if err != nil {
 		return false, err
+	}
+	if p.pooled == nil {
+		st.SlabBytes += a.SlabBytes()
 	}
 	for _, tu := range span {
 		if !matchesAll(rest, tu) {
@@ -233,8 +317,10 @@ func runPartial(sn *blockstore.Snapshot, i int, st *Stats, bound Pred, rest []Pr
 // runFull decodes the whole block (through the decoded-block cache) and
 // filters every conjunct. With an unknown fence it also applies the
 // clustered stop rule: a block starting beyond the bound ends the pass.
-func runFull(sn *blockstore.Snapshot, i int, st *Stats, preds []Pred, bound *Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
-	tuples, hit, err := sn.ReadBlock(i)
+func (p *pass) runFull(i int, preds []Pred, bound *Pred, emit func(relation.Tuple) bool) (stop bool, err error) {
+	sn, st := p.sn, &p.st
+	a := p.arena()
+	tuples, hit, err := sn.ReadBlockArena(i, a)
 	if err != nil {
 		return false, err
 	}
@@ -244,6 +330,9 @@ func runFull(sn *blockstore.Snapshot, i int, st *Stats, preds []Pred, bound *Pre
 		st.BlocksRead++
 	}
 	st.FullDecodes++
+	if p.pooled == nil {
+		st.SlabBytes += a.SlabBytes()
+	}
 	if bound != nil && len(tuples) > 0 && tuples[0][0] > bound.Hi {
 		// Only reachable with an unknown fence; nothing here qualifies and
 		// neither does anything later.

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/table"
+)
+
+// DecodeConfig parameterizes the decode-kernel experiment: the
+// zero-allocation arena paths versus the allocating reference, the
+// flat-ordinal span walk versus binary-search probing, and the same
+// macro workload RunObs times so the benchgate can compare across PRs.
+type DecodeConfig struct {
+	// Tuples is the macro relation size; default 100_000.
+	Tuples int
+	// PageSize is the block size; default 8192.
+	PageSize int
+	// BlockTuples sizes the micro-benchmark block; default 256.
+	BlockTuples int
+	// Rounds is how many times each measurement repeats; the best round
+	// is kept. Default 5.
+	Rounds int
+	// Iters is the number of timed iterations per round. Default 2000.
+	Iters int
+	// CountIters is how many CountRange queries the macro round times.
+	// Default 50.
+	CountIters int
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+func (c *DecodeConfig) fillDefaults() {
+	if c.Tuples == 0 {
+		c.Tuples = 100_000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 8192
+	}
+	if c.BlockTuples == 0 {
+		c.BlockTuples = 256
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 5
+	}
+	if c.Iters == 0 {
+		c.Iters = 2000
+	}
+	if c.CountIters == 0 {
+		c.CountIters = 50
+	}
+}
+
+// DecodeCodecResult is one codec's arena-versus-allocating comparison on
+// a full-block decode.
+type DecodeCodecResult struct {
+	Codec            string  `json:"codec"`
+	ArenaNsPerOp     float64 `json:"arena_ns_per_op"`
+	AllocNsPerOp     float64 `json:"alloc_ns_per_op"`
+	ArenaAllocsPerOp float64 `json:"arena_allocs_per_op"`
+	AllocAllocsPerOp float64 `json:"alloc_allocs_per_op"`
+	SpeedupPct       float64 `json:"speedup_pct"`
+}
+
+// DecodeResult reports the decode-kernel measurements. Gates:
+//   - every codec's steady-state arena decode allocates zero objects per
+//     block (ZeroAllocPass);
+//   - the flat-ordinal PhiSpan walk beats the SearchBlock probe pair by
+//     at least MinFlatSpeedupPct on the clustering-range workload
+//     (FlatPass).
+//
+// LoadMillis and CountMillis repeat RunObs's uninstrumented workload so
+// scripts/benchgate.sh can hold this PR against the committed
+// BENCH_obs.json baseline.
+type DecodeResult struct {
+	Tuples      int `json:"tuples"`
+	PageSize    int `json:"page_size"`
+	BlockTuples int `json:"block_tuples"`
+	Rounds      int `json:"rounds"`
+	CountIters  int `json:"count_iters"`
+
+	Codecs []DecodeCodecResult `json:"codecs"`
+
+	PhiSpanNsPerOp     float64 `json:"phispan_ns_per_op"`
+	SearchNsPerOp      float64 `json:"search_ns_per_op"`
+	PhiSpanAllocsPerOp float64 `json:"phispan_allocs_per_op"`
+	FlatSpeedupPct     float64 `json:"flat_speedup_pct"`
+	MinFlatSpeedupPct  float64 `json:"min_flat_speedup_pct"`
+
+	LoadMillis  float64 `json:"load_ms"`
+	CountMillis float64 `json:"count_ms"`
+
+	ZeroAllocPass bool `json:"zero_alloc_pass"`
+	FlatPass      bool `json:"flat_pass"`
+	Pass          bool `json:"pass"`
+}
+
+// decodeMinFlatSpeedupPct is the acceptance floor for the flat-ordinal
+// path: PhiSpan must be at least this much faster than the SearchBlock
+// probe pair it replaces.
+const decodeMinFlatSpeedupPct = 25.0
+
+// bestNsPerOp times f over cfg.Iters iterations, cfg.Rounds times, and
+// returns the fastest round's per-iteration nanoseconds.
+func bestNsPerOp(rounds, iters int, f func()) float64 {
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// allocsPerOp measures f's steady-state heap allocations per call, the
+// same way testing.AllocsPerRun does: one warm-up call, then a counted
+// run under GOMAXPROCS(1) so other goroutines' allocations cannot bleed
+// into the window. The GC is paused for the measurement and the best of
+// three windows is kept: a single clean window proves the operation
+// itself does not allocate, whereas runtime background activity can add
+// strays to any one window.
+func allocsPerOp(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f()
+	best := 0.0
+	for w := 0; w < 3; w++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < runs; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		got := float64(after.Mallocs-before.Mallocs) / float64(runs)
+		if w == 0 || got < best {
+			best = got
+		}
+	}
+	return best
+}
+
+// decodeMicroBlock builds a sorted block of cfg.BlockTuples random
+// tuples over the paper's five-attribute employee schema, whose
+// cross-product space fits a uint64 so the flat-ordinal path is live.
+func decodeMicroBlock(cfg DecodeConfig) (*relation.Schema, []relation.Tuple) {
+	s := relation.MustSchema(
+		relation.Domain{Name: "dept", Size: 8},
+		relation.Domain{Name: "job", Size: 16},
+		relation.Domain{Name: "years", Size: 64},
+		relation.Domain{Name: "hours", Size: 64},
+		relation.Domain{Name: "empno", Size: 64},
+	)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	tuples := make([]relation.Tuple, cfg.BlockTuples)
+	for i := range tuples {
+		tu := make(relation.Tuple, s.NumAttrs())
+		for j := 0; j < s.NumAttrs(); j++ {
+			tu[j] = uint64(rng.Int63n(int64(s.Domain(j).Size)))
+		}
+		tuples[i] = tu
+	}
+	s.SortTuples(tuples)
+	return s, tuples
+}
+
+// RunDecode measures the zero-allocation decode kernels: per-codec
+// arena-versus-allocating full-block decode, the flat-ordinal PhiSpan
+// walk against SearchBlock probing, and the BulkLoad/CountRange macro
+// workload shared with RunObs.
+func RunDecode(cfg DecodeConfig) (*DecodeResult, error) {
+	cfg.fillDefaults()
+	res := &DecodeResult{
+		Tuples:            cfg.Tuples,
+		PageSize:          cfg.PageSize,
+		BlockTuples:       cfg.BlockTuples,
+		Rounds:            cfg.Rounds,
+		CountIters:        cfg.CountIters,
+		MinFlatSpeedupPct: decodeMinFlatSpeedupPct,
+		ZeroAllocPass:     true,
+	}
+
+	s, block := decodeMicroBlock(cfg)
+
+	codecs := []core.Codec{
+		core.CodecRaw, core.CodecAVQ, core.CodecRepOnly,
+		core.CodecDeltaChain, core.CodecPacked,
+	}
+	for _, c := range codecs {
+		enc, err := core.EncodeBlock(c, s, block, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%v: encode: %w", c, err)
+		}
+		a := core.NewArena()
+		arenaOp := func() {
+			a.Reset()
+			if _, err := core.DecodeBlockArena(s, enc, a); err != nil {
+				panic(err)
+			}
+		}
+		allocOp := func() {
+			if _, err := core.DecodeBlock(s, enc); err != nil {
+				panic(err)
+			}
+		}
+		cr := DecodeCodecResult{
+			Codec:            c.String(),
+			ArenaNsPerOp:     bestNsPerOp(cfg.Rounds, cfg.Iters, arenaOp),
+			AllocNsPerOp:     bestNsPerOp(cfg.Rounds, cfg.Iters, allocOp),
+			ArenaAllocsPerOp: allocsPerOp(100, arenaOp),
+			AllocAllocsPerOp: allocsPerOp(100, allocOp),
+		}
+		if cr.AllocNsPerOp > 0 {
+			cr.SpeedupPct = (cr.AllocNsPerOp - cr.ArenaNsPerOp) / cr.AllocNsPerOp * 100
+		}
+		if cr.ArenaAllocsPerOp != 0 {
+			res.ZeroAllocPass = false
+		}
+		res.Codecs = append(res.Codecs, cr)
+	}
+
+	// Flat-ordinal span walk versus the binary-search probe pair it
+	// replaces, on the clustering-range shape exec's partial path uses.
+	w, ok := s.FlatWeights()
+	if !ok {
+		return nil, fmt.Errorf("micro schema unexpectedly non-flat")
+	}
+	enc, err := core.EncodeBlock(core.CodecAVQ, s, block, nil)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := uint64(2), uint64(5)
+	a := core.NewArena()
+	spanOp := func() {
+		a.Reset()
+		if _, _, err := core.PhiSpan(s, enc, lo*w[0], hi*w[0]+(w[0]-1), a); err != nil {
+			panic(err)
+		}
+	}
+	searchOp := func() {
+		a.Reset()
+		if _, err := core.SearchBlockArena(s, enc, func(tu relation.Tuple) bool { return tu[0] >= lo }, a); err != nil {
+			panic(err)
+		}
+		if _, err := core.SearchBlockArena(s, enc, func(tu relation.Tuple) bool { return tu[0] > hi }, a); err != nil {
+			panic(err)
+		}
+	}
+	res.PhiSpanNsPerOp = bestNsPerOp(cfg.Rounds, cfg.Iters, spanOp)
+	res.SearchNsPerOp = bestNsPerOp(cfg.Rounds, cfg.Iters, searchOp)
+	res.PhiSpanAllocsPerOp = allocsPerOp(100, spanOp)
+	if res.SearchNsPerOp > 0 {
+		res.FlatSpeedupPct = (res.SearchNsPerOp - res.PhiSpanNsPerOp) / res.SearchNsPerOp * 100
+	}
+	res.FlatPass = res.FlatSpeedupPct >= res.MinFlatSpeedupPct
+
+	// Macro workload: RunObs's uninstrumented BulkLoad + CountRange, so
+	// the benchgate can hold this result against BENCH_obs.json.
+	spec := gen.Fig57Spec(cfg.Tuples, true, gen.VarianceLarge, cfg.Seed)
+	schema, tuples, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	schema.SortTuples(tuples)
+	var load, count time.Duration
+	for r := 0; r < cfg.Rounds; r++ {
+		tb, err := table.Create(schema,
+			table.WithCodec(core.CodecAVQ),
+			table.WithPageSize(cfg.PageSize),
+			table.WithPoolFrames(256),
+		)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := tb.BulkLoad(tuples); err != nil {
+			return nil, err
+		}
+		l := time.Since(start)
+		dom := schema.Domain(0).Size
+		start = time.Now()
+		for i := 0; i < cfg.CountIters; i++ {
+			if _, _, err := tb.CountRange(0, dom/4, dom/2); err != nil {
+				return nil, err
+			}
+		}
+		c := time.Since(start)
+		if r == 0 || l < load {
+			load = l
+		}
+		if r == 0 || c < count {
+			count = c
+		}
+	}
+	res.LoadMillis = float64(load.Microseconds()) / 1e3
+	res.CountMillis = float64(count.Microseconds()) / 1e3
+
+	res.Pass = res.ZeroAllocPass && res.FlatPass
+	return res, nil
+}
+
+// WriteText renders the result as an aligned report.
+func (r *DecodeResult) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "Decode kernels: %d-tuple blocks, best of %d rounds\n", r.BlockTuples, r.Rounds)
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %10s %9s\n",
+		"codec", "arena ns/op", "alloc ns/op", "arena a/op", "alloc a/op", "speedup")
+	for _, c := range r.Codecs {
+		fmt.Fprintf(w, "%-12s %12.0f %12.0f %10.1f %10.1f %8.1f%%\n",
+			c.Codec, c.ArenaNsPerOp, c.AllocNsPerOp, c.ArenaAllocsPerOp, c.AllocAllocsPerOp, c.SpeedupPct)
+	}
+	fmt.Fprintf(w, "flat-ordinal span: PhiSpan %.0f ns/op (%.1f allocs/op) vs SearchBlock %.0f ns/op: %.1f%% faster\n",
+		r.PhiSpanNsPerOp, r.PhiSpanAllocsPerOp, r.SearchNsPerOp, r.FlatSpeedupPct)
+	fmt.Fprintf(w, "macro (%d tuples, %d-byte pages): bulk load %.2f ms, count-range x%d %.2f ms\n",
+		r.Tuples, r.PageSize, r.LoadMillis, r.CountIters, r.CountMillis)
+	verdict := func(b bool) string {
+		if b {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(w, "gate: steady-state arena decode allocates 0 objects/op: %s\n", verdict(r.ZeroAllocPass))
+	fmt.Fprintf(w, "gate: flat-ordinal path >= %.0f%% faster than probing: %s\n",
+		r.MinFlatSpeedupPct, verdict(r.FlatPass))
+	return nil
+}
+
+// WriteJSON renders the result as indented JSON.
+func (r *DecodeResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

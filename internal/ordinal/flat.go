@@ -1,0 +1,51 @@
+package ordinal
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Flat-ordinal fast path: when ||R|| fits in a uint64 (schema.FlatSpace
+// reports ok), phi values are single machine words and the chain arithmetic
+// of the AVQ decoder — add, subtract, compare — collapses to single
+// instructions instead of per-digit mixed-radix loops. The functions here
+// are validated against the big.Int reference (Phi, PhiInverse) in tests
+// and fuzzing; they are exact, not approximations.
+
+// PhiU64 returns phi(t) as a uint64. The schema must be flat (FlatSpace
+// ok) and t must be a valid tuple of the schema; both are the caller's
+// responsibility on this hot path. It is Horner's evaluation of Eq. 2.2.
+func PhiU64(s *relation.Schema, t relation.Tuple) uint64 {
+	var e uint64
+	for i := 0; i < s.NumAttrs(); i++ {
+		e = e*s.Domain(i).Size + t[i]
+	}
+	return e
+}
+
+// PhiInverseU64 writes the tuple with ordinal e into dst (which must have
+// the schema's arity) and returns it. The schema must be flat. It returns
+// an error if e >= ||R||, mirroring PhiInverse.
+func PhiInverseU64(s *relation.Schema, dst relation.Tuple, e uint64) (relation.Tuple, error) {
+	space, ok := s.FlatSpace()
+	if !ok {
+		return nil, fmt.Errorf("ordinal: schema space exceeds 64 bits")
+	}
+	if e >= space {
+		return nil, fmt.Errorf("ordinal: ordinal %d outside schema space ||R||=%d", e, space)
+	}
+	for i := s.NumAttrs() - 1; i >= 0; i-- {
+		radix := s.Domain(i).Size
+		dst[i] = e % radix
+		e /= radix
+	}
+	return dst, nil
+}
+
+// PhiDiffU64 returns phi(d) for a difference digit vector d. Differences
+// produced by Sub are valid tuples of the schema, so this is just PhiU64;
+// the alias documents intent at call sites walking a difference chain.
+func PhiDiffU64(s *relation.Schema, d relation.Tuple) uint64 {
+	return PhiU64(s, d)
+}

@@ -1,0 +1,164 @@
+package ordinal
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestPhiU64MatchesBigInt cross-checks the flat fast path against the
+// big.Int reference on random tuples of random flat schemas.
+func TestPhiU64MatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(6)
+		doms := make([]relation.Domain, n)
+		for i := range doms {
+			doms[i] = relation.Domain{Name: string(rune('a' + i)), Size: uint64(2 + rng.Intn(500))}
+		}
+		s := relation.MustSchema(doms...)
+		space, ok := s.FlatSpace()
+		if !ok {
+			t.Fatalf("schema %v unexpectedly non-flat", doms)
+		}
+		tu := make(relation.Tuple, n)
+		for i := range tu {
+			tu[i] = uint64(rng.Int63n(int64(doms[i].Size)))
+		}
+		got := PhiU64(s, tu)
+		want := Phi(s, tu)
+		if new(big.Int).SetUint64(got).Cmp(want) != 0 {
+			t.Fatalf("PhiU64(%v) = %d, Phi = %s", tu, got, want)
+		}
+		if got >= space {
+			t.Fatalf("PhiU64(%v) = %d outside space %d", tu, got, space)
+		}
+		// Inverse round-trips both against PhiU64 and the reference.
+		dst := make(relation.Tuple, n)
+		back, err := PhiInverseU64(s, dst, got)
+		if err != nil {
+			t.Fatalf("PhiInverseU64(%d): %v", got, err)
+		}
+		if s.Compare(back, tu) != 0 {
+			t.Fatalf("PhiInverseU64(PhiU64(%v)) = %v", tu, back)
+		}
+		ref, err := PhiInverse(s, want)
+		if err != nil {
+			t.Fatalf("PhiInverse(%s): %v", want, err)
+		}
+		if s.Compare(back, ref) != 0 {
+			t.Fatalf("inverse mismatch: flat %v, reference %v", back, ref)
+		}
+	}
+}
+
+func TestPhiInverseU64Bounds(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Domain{Name: "a", Size: 3},
+		relation.Domain{Name: "b", Size: 5},
+	)
+	space, ok := s.FlatSpace()
+	if !ok || space != 15 {
+		t.Fatalf("FlatSpace = %d, %v; want 15, true", space, ok)
+	}
+	dst := make(relation.Tuple, 2)
+	if _, err := PhiInverseU64(s, dst, 15); err == nil {
+		t.Fatal("PhiInverseU64 accepted an ordinal outside the space")
+	}
+	if got, err := PhiInverseU64(s, dst, 14); err != nil || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("PhiInverseU64(14) = %v, %v; want [2 4]", got, err)
+	}
+}
+
+// TestFlatWeightsOverflow checks the schema-side cache: spaces beyond 64
+// bits must report !ok rather than a wrapped product.
+func TestFlatWeightsOverflow(t *testing.T) {
+	doms := make([]relation.Domain, 16)
+	for i := range doms {
+		doms[i] = relation.Domain{Name: string(rune('a' + i)), Size: 64}
+	}
+	s := relation.MustSchema(doms...) // 64^16 = 2^96
+	if _, ok := s.FlatSpace(); ok {
+		t.Fatal("2^96 space reported as flat")
+	}
+	if _, ok := s.FlatWeights(); ok {
+		t.Fatal("2^96 space reported flat weights")
+	}
+	// Exactly 2^63 fits; one more factor of 2 pushing to 2^64 still fits
+	// (space-1 is representable only below 2^64, so 2^64 itself must not).
+	s63 := relation.MustSchema(
+		relation.Domain{Name: "a", Size: 1 << 32},
+		relation.Domain{Name: "b", Size: 1 << 31},
+	)
+	if space, ok := s63.FlatSpace(); !ok || space != 1<<63 {
+		t.Fatalf("2^63 space: got %d, %v", space, ok)
+	}
+	w, ok := s63.FlatWeights()
+	if !ok || w[0] != 1<<31 || w[1] != 1 {
+		t.Fatalf("weights = %v, %v", w, ok)
+	}
+}
+
+// TestPhiU64PaperValues replays the Figure 2.2 / 3.3 ordinals on the flat
+// path.
+func TestPhiU64PaperValues(t *testing.T) {
+	s := employeeSchema(t)
+	cases := []struct {
+		tuple relation.Tuple
+		want  uint64
+	}{
+		{relation.Tuple{3, 8, 36, 39, 35}, 14830051},
+		{relation.Tuple{3, 8, 32, 34, 12}, 14813324},
+		{relation.Tuple{3, 8, 32, 25, 19}, 14812755},
+		{relation.Tuple{3, 9, 24, 32, 0}, 15042560},
+		{relation.Tuple{3, 9, 26, 27, 37}, 15050469},
+		{relation.Tuple{0, 0, 4, 5, 23}, 16727},
+		{relation.Tuple{0, 0, 0, 8, 57}, 569},
+		{relation.Tuple{0, 0, 0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := PhiU64(s, c.tuple); got != c.want {
+			t.Errorf("PhiU64(%v) = %d, want %d", c.tuple, got, c.want)
+		}
+	}
+}
+
+func FuzzPhiU64(f *testing.F) {
+	s := employeeSchema(f)
+	f.Add(uint64(3), uint64(8), uint64(36), uint64(39), uint64(35))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e uint64) {
+		tu := relation.Tuple{
+			a % s.Domain(0).Size,
+			b % s.Domain(1).Size,
+			c % s.Domain(2).Size,
+			d % s.Domain(3).Size,
+			e % s.Domain(4).Size,
+		}
+		got := PhiU64(s, tu)
+		if new(big.Int).SetUint64(got).Cmp(Phi(s, tu)) != 0 {
+			t.Fatalf("PhiU64(%v) = %d disagrees with Phi", tu, got)
+		}
+		dst := make(relation.Tuple, 5)
+		back, err := PhiInverseU64(s, dst, got)
+		if err != nil {
+			t.Fatalf("PhiInverseU64(%d): %v", got, err)
+		}
+		if s.Compare(back, tu) != 0 {
+			t.Fatalf("round trip %v -> %d -> %v", tu, got, back)
+		}
+	})
+}
+
+func BenchmarkPhiU64(b *testing.B) {
+	s := employeeSchema(b)
+	tu := relation.Tuple{3, 8, 36, 39, 35}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkU64 = PhiU64(s, tu)
+	}
+}
+
+var sinkU64 uint64

@@ -93,10 +93,20 @@ func (s *Schema) EncodeTuple(dst []byte, t Tuple) []byte {
 // DecodeTuple parses a fixed-width tuple from buf into a fresh Tuple. It
 // returns an error if buf is shorter than s.RowSize().
 func (s *Schema) DecodeTuple(buf []byte) (Tuple, error) {
-	if len(buf) < s.rowSize {
-		return nil, fmt.Errorf("relation: need %d bytes to decode tuple, have %d", s.rowSize, len(buf))
-	}
 	t := make(Tuple, len(s.domains))
+	if err := s.DecodeTupleInto(t, buf); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// DecodeTupleInto parses a fixed-width tuple from buf into t, which must
+// have the schema's arity. It is the allocation-free form of DecodeTuple
+// used by the arena-backed decode kernels.
+func (s *Schema) DecodeTupleInto(t Tuple, buf []byte) error {
+	if len(buf) < s.rowSize {
+		return fmt.Errorf("relation: need %d bytes to decode tuple, have %d", s.rowSize, len(buf))
+	}
 	pos := 0
 	for i := range s.domains {
 		var v uint64
@@ -106,7 +116,7 @@ func (s *Schema) DecodeTuple(buf []byte) (Tuple, error) {
 		}
 		t[i] = v
 	}
-	return t, nil
+	return nil
 }
 
 // EncodeAttr appends the fixed-width big-endian byte form of a single

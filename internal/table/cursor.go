@@ -93,6 +93,9 @@ func (t *Table) planGroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr in
 	}
 	r, err := t.planRange(filterAttr, lo, hi)
 	r.op = "groupby"
+	// Group buckets copy the key and aggregate values out of each tuple, so
+	// the executor may recycle one arena across blocks.
+	r.plan.Transient = true
 	return r, err
 }
 

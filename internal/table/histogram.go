@@ -130,6 +130,8 @@ func (t *Table) HistogramContext(ctx context.Context, attr, buckets int) ([]int,
 	counts := make([]int, buckets)
 	r := t.planScan()
 	r.op = "histogram"
+	// Bucketing reads one attribute per tuple and retains nothing.
+	r.plan.Transient = true
 	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {
 		b := int(tu[attr] / width)
 		if b >= buckets {

@@ -200,6 +200,9 @@ func (t *Table) planAggregate(attr int, lo, hi uint64, aggAttr int) (queryRun, e
 	}
 	r, err := t.planRange(attr, lo, hi)
 	r.op = "aggregate"
+	// The aggregate fold reads attribute values and retains nothing, so the
+	// executor may recycle one arena across blocks.
+	r.plan.Transient = true
 	return r, err
 }
 

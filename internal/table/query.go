@@ -247,7 +247,14 @@ func (t *Table) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
 
 // CountRangeContext is CountRange honouring ctx.
 func (t *Table) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) (int, QueryStats, error) {
-	stats, err := t.selectRangeFunc(ctx, attr, lo, hi, func(relation.Tuple) bool { return true })
+	r, err := t.planRange(attr, lo, hi)
+	if err != nil {
+		return 0, QueryStats{}, err
+	}
+	// Counting never touches the tuples, so the executor may recycle one
+	// arena across blocks.
+	r.plan.Transient = true
+	stats, err := r.runCtx(ctx, func(relation.Tuple) bool { return true })
 	return stats.Matches, stats, err
 }
 

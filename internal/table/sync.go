@@ -221,6 +221,7 @@ func (s *Sync) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) (
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
+	r.plan.Transient = true // counting retains nothing
 	stats, err := r.runCtx(ctx, func(relation.Tuple) bool { return true })
 	return stats.Matches, stats, err
 }

@@ -1,0 +1,98 @@
+#!/usr/bin/env sh
+# benchgate.sh — the decode-kernel performance gate.
+#
+# Runs `avqbench -exp decode` (writing a fresh BENCH_decode.json) and
+# holds it against the committed baselines:
+#
+#   1. the experiment's own gates must pass: steady-state arena decode at
+#      0 allocs/op and the flat-ordinal span walk >= 25% faster than
+#      binary-search probing;
+#   2. the macro workload (BulkLoad + CountRange, the same shape
+#      BENCH_obs.json measures) must not regress more than TOLERANCE_PCT
+#      against the committed BENCH_decode.json, nor against the
+#      uninstrumented baseline in BENCH_obs.json.
+#
+# Wall-clock numbers are noisy across hosts, so the tolerance is
+# deliberately generous (default 25%); the allocation and speedup gates
+# inside the experiment are the precise ones.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE_PCT=${TOLERANCE_PCT:-25}
+
+if [ ! -f BENCH_decode.json ]; then
+    echo "benchgate: no committed BENCH_decode.json baseline" >&2
+    exit 1
+fi
+
+# jget FILE KEY — extract a scalar field from a flat JSON file without
+# depending on jq (not in the base image).
+jget() {
+    sed -n "s/^.*\"$2\": *\([0-9.truefalse][0-9.truefalse]*\),*$/\1/p" "$1" | head -n 1
+}
+
+base_load=$(jget BENCH_decode.json load_ms)
+base_count=$(jget BENCH_decode.json count_ms)
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cp BENCH_decode.json "$tmpdir/baseline.json"
+
+echo "== benchgate: running avqbench -exp decode"
+go run ./cmd/avqbench -exp decode
+
+pass=$(jget BENCH_decode.json pass)
+zero=$(jget BENCH_decode.json zero_alloc_pass)
+flat=$(jget BENCH_decode.json flat_pass)
+new_load=$(jget BENCH_decode.json load_ms)
+new_count=$(jget BENCH_decode.json count_ms)
+
+# The fresh run replaces the committed file in the working tree; restore
+# the baseline so the gate never silently rewrites it.
+cp BENCH_decode.json "$tmpdir/fresh.json"
+cp "$tmpdir/baseline.json" BENCH_decode.json
+
+fail=0
+if [ "$pass" != "true" ]; then
+    echo "benchgate: experiment gates failed (zero_alloc_pass=$zero flat_pass=$flat)" >&2
+    fail=1
+fi
+
+# within BASE NEW — NEW must not exceed BASE by more than TOLERANCE_PCT.
+within() {
+    awk -v base="$1" -v new="$2" -v tol="$TOLERANCE_PCT" \
+        'BEGIN { exit !(base <= 0 || new <= base * (1 + tol / 100)) }'
+}
+
+if ! within "$base_load" "$new_load"; then
+    echo "benchgate: bulk load regressed: ${new_load}ms vs baseline ${base_load}ms (+${TOLERANCE_PCT}% allowed)" >&2
+    fail=1
+fi
+if ! within "$base_count" "$new_count"; then
+    echo "benchgate: count-range regressed: ${new_count}ms vs baseline ${base_count}ms (+${TOLERANCE_PCT}% allowed)" >&2
+    fail=1
+fi
+
+# Cross-check against the uninstrumented obs baseline, when present: the
+# decode experiment runs the identical workload, so a blow-up against
+# BENCH_obs.json means the arena refactor slowed the read stack.
+if [ -f BENCH_obs.json ]; then
+    obs_load=$(jget BENCH_obs.json base_load_ms)
+    obs_count=$(jget BENCH_obs.json base_count_ms)
+    if ! within "$obs_load" "$new_load"; then
+        echo "benchgate: bulk load regressed vs BENCH_obs.json: ${new_load}ms vs ${obs_load}ms" >&2
+        fail=1
+    fi
+    if ! within "$obs_count" "$new_count"; then
+        echo "benchgate: count-range regressed vs BENCH_obs.json: ${new_count}ms vs ${obs_count}ms" >&2
+        fail=1
+    fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "benchgate: FAIL (fresh run kept at $tmpdir/fresh.json is gone after exit; re-run avqbench -exp decode to inspect)" >&2
+    exit 1
+fi
+
+echo "benchgate: PASS (load ${new_load}ms <= ${base_load}ms+${TOLERANCE_PCT}%, count ${new_count}ms <= ${base_count}ms+${TOLERANCE_PCT}%)"

@@ -31,6 +31,7 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/buffer ./internal/table ./internal/simdisk \
-    ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs
+    ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
+    ./internal/core
 
 echo "check.sh: all gates passed"
