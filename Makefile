@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint build fmt bench-pruning bench-obs bench-decode benchgate
+.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode benchgate
 
 check:
 	sh scripts/check.sh
@@ -17,7 +17,7 @@ test:
 race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
 		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
-		./internal/core
+		./internal/core ./internal/analysis
 
 bench-decode:
 	$(GO) run ./cmd/avqbench -exp decode
@@ -33,7 +33,12 @@ bench-obs:
 
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/avqlint ./...
+	$(GO) run ./cmd/avqlint -baseline scripts/avqlint-baseline.json ./...
+
+# Regenerate the accepted-findings baseline. Run this deliberately after
+# triaging new findings or retiring old ones; the diff is the review artifact.
+lint-baseline:
+	$(GO) run ./cmd/avqlint -baseline scripts/avqlint-baseline.json -write-baseline ./...
 
 fmt:
 	gofmt -w cmd internal examples *.go

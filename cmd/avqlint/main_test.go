@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -14,21 +18,27 @@ func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	return code, out.String(), errb.String()
 }
 
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+}
+
 func TestListRules(t *testing.T) {
 	code, out, _ := runLint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, rule := range []string{"unpinpair", "framealias", "lockbalance", "droppederr", "ordwidth"} {
+	for _, rule := range []string{"pinflow", "snapflow", "arenaescape", "ctxflow", "framealias", "lockbalance", "droppederr", "ordwidth", "errwrap"} {
 		if !strings.Contains(out, rule) {
 			t.Errorf("rule %q missing from -list output:\n%s", rule, out)
 		}
 	}
+	if strings.Contains(out, "unpinpair") || strings.Contains(out, "arenaalias") {
+		t.Errorf("retired rule still listed:\n%s", out)
+	}
 }
 
 func TestFindingsExitNonZero(t *testing.T) {
-	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "droppederr")
-	code, out, stderr := runLint(t, fixture)
+	code, out, stderr := runLint(t, fixture("droppederr"))
 	if code != 1 {
 		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
 	}
@@ -38,11 +48,25 @@ func TestFindingsExitNonZero(t *testing.T) {
 }
 
 func TestRuleFilter(t *testing.T) {
-	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "droppederr")
 	// With only an unrelated rule selected, the fixture is clean.
-	code, out, stderr := runLint(t, "-rules", "lockbalance", fixture)
+	code, out, stderr := runLint(t, "-rules", "lockbalance", fixture("droppederr"))
 	if code != 0 {
 		t.Fatalf("exit %d, want 0; stdout: %s stderr: %s", code, out, stderr)
+	}
+}
+
+func TestPerRuleFlag(t *testing.T) {
+	// The boolean per-rule flags select rules just like -rules does.
+	code, out, _ := runLint(t, "-lockbalance", fixture("droppederr"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stdout: %s", code, out)
+	}
+	code, out, _ = runLint(t, "-droppederr", fixture("droppederr"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "[droppederr]") {
+		t.Errorf("output missing droppederr finding:\n%s", out)
 	}
 }
 
@@ -60,5 +84,103 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	code, out, stderr := runLint(t, filepath.Join("..", "..", "internal", "ordinal"))
 	if code != 0 {
 		t.Fatalf("exit %d; stdout: %s stderr: %s", code, out, stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, stderr := runLint(t, "-json", fixture("droppederr"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range findings {
+		if f.Rule != "droppederr" {
+			t.Errorf("unexpected rule %q", f.Rule)
+		}
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, "\\") {
+			t.Errorf("file %q is not module-relative slash-separated", f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding missing position: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, out, _ := runLint(t, "-json", filepath.Join("..", "..", "internal", "ordinal"))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("want empty JSON array, got %q", out)
+	}
+}
+
+func TestBaselineWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+
+	// -write-baseline snapshots the current findings and exits 0.
+	code, _, stderr := runLint(t, "-baseline", path, "-write-baseline", fixture("droppederr"))
+	if code != 0 {
+		t.Fatalf("write-baseline exit %d; stderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// With the baseline in force the same findings are accepted.
+	code, out, stderr := runLint(t, "-baseline", path, fixture("droppederr"))
+	if code != 0 {
+		t.Fatalf("baselined run exit %d; stdout: %s stderr: %s", code, out, stderr)
+	}
+
+	// A finding outside the baseline is still fresh.
+	code, out, _ = runLint(t, "-baseline", path, fixture("droppederr"), fixture("ordwidth"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(out, "[droppederr]") {
+		t.Errorf("baselined findings leaked into output:\n%s", out)
+	}
+	if !strings.Contains(out, "[ordwidth]") {
+		t.Errorf("fresh ordwidth finding missing:\n%s", out)
+	}
+}
+
+func TestBaselineStaleEntryFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	b := &analysis.Baseline{Version: 1, Findings: []analysis.BaselineEntry{
+		{File: "gone/gone.go", Rule: "droppederr", Message: "no such finding", Count: 2},
+	}}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	// The target package is clean, but the baseline claims an accepted
+	// finding that no longer occurs: the gate must fail so the baseline
+	// only shrinks via explicit regeneration.
+	code, _, stderr := runLint(t, "-baseline", path, filepath.Join("..", "..", "internal", "ordinal"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") || !strings.Contains(stderr, "-write-baseline") {
+		t.Errorf("stderr missing stale-entry guidance: %s", stderr)
+	}
+}
+
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	code, _, stderr := runLint(t, "-write-baseline")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-baseline") {
+		t.Errorf("stderr: %s", stderr)
 	}
 }

@@ -4,13 +4,17 @@
 // reports diagnostics with file:line positions, a rule id, and a message.
 //
 // The analyzers enforce invariants the Go type system cannot express but
-// the storage stack depends on: every buffer-pool pin is matched by an
-// unpin, a Frame.Data slice is never used after its frame is unpinned,
-// every mutex Lock has an Unlock on the same paths, error results are
-// never silently dropped, ordinal digit arithmetic never truncates
-// through a narrowing conversion, and slab-backed tuples from the arena
-// decode kernels are cloned before being retained. See the per-analyzer
-// files for details.
+// the storage stack depends on: every buffer-pool pin reaches an unpin on
+// every control-flow path, every manifest snapshot reaches a Release on
+// every path, a Frame.Data slice is never used after its frame is
+// unpinned, every mutex Lock has an Unlock on the same paths, error
+// results are never silently dropped, ordinal digit arithmetic never
+// truncates through a narrowing conversion, slab-backed tuples from the
+// arena decode kernels are cloned before being retained, and a ctx in
+// scope is threaded down to the block I/O it bounds. The flow-sensitive
+// rules (pinflow, snapflow, arenaescape) run a worklist fixpoint over a
+// per-function CFG (cfg.go, dataflow.go); see the per-analyzer files for
+// details.
 //
 // A finding can be suppressed by placing a comment of the form
 //
@@ -83,9 +87,11 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf
 // register themselves here.
 func Registry() []*Analyzer {
 	all := []*Analyzer{
-		AnalyzerUnpinPair,
+		AnalyzerPinFlow,
+		AnalyzerSnapFlow,
 		AnalyzerFrameAlias,
-		AnalyzerArenaAlias,
+		AnalyzerArenaEscape,
+		AnalyzerCtxFlow,
 		AnalyzerLockBalance,
 		AnalyzerDroppedErr,
 		AnalyzerOrdWidth,

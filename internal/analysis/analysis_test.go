@@ -41,19 +41,38 @@ func TestAnalyzersGolden(t *testing.T) {
 		want []string
 	}{
 		{
-			rule: "unpinpair",
+			rule: "pinflow",
 			want: []string{
-				`unpinpair.go:12:12: frame "f" pinned by Pool.Get is never unpinned in this function`,
-				`unpinpair.go:21:2: frame pinned by Pool.Allocate is discarded; it can never be unpinned`,
-				`unpinpair.go:26:12: frame pinned by Pool.Get is discarded; it can never be unpinned`,
+				`pinflow.go:15:12: frame "f" pinned by Pool.Get is unpinned on some paths but leaks on others`,
+				`pinflow.go:28:12: frame "f" pinned by Pool.Get is never unpinned in this function`,
+				`pinflow.go:38:2: frame pinned by Pool.Allocate is discarded; it can never be unpinned`,
 			},
 		},
 		{
-			rule: "arenaalias",
+			rule: "snapflow",
 			want: []string{
-				`arenaalias.go:22:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
-				`arenaalias.go:32:12: slab-backed tuple "ts" (from DecodeTupleSpanArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
-				`arenaalias.go:39:11: slab-backed tuple "tu" (from Arena.Tuple) sent on a channel; arena memory is recycled on Reset — Clone() it first`,
+				`snapflow.go:17:8: snapshot "sn" from Store.Snapshot is never released in this function`,
+				`snapflow.go:23:8: snapshot "sn" from Store.Snapshot is released on some paths but leaks on others`,
+				`snapflow.go:34:2: snapshot from Store.Snapshot is discarded; its manifest refcount can never be released`,
+			},
+		},
+		{
+			rule: "arenaescape",
+			want: []string{
+				`arenaescape.go:24:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:34:12: slab-backed tuple "ts" (from DecodeTupleSpanArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:41:11: slab-backed tuple "tu" (from Arena.Tuple) sent on a channel; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:51:11: slab-backed tuple "u" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:68:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+			},
+		},
+		{
+			rule: "ctxflow",
+			want: []string{
+				`ctxflow.go:20:23: context.Background() inside a function that already has a ctx parameter; thread "ctx" instead`,
+				`ctxflow.go:26:23: context.TODO() severs cancellation from every caller; accept a ctx parameter or mark this wrapper Deprecated`,
+				`ctxflow.go:38:9: call to Scan drops the in-scope ctx; use ScanContext instead`,
+				`ctxflow.go:49:2: loop reads blocks but never consults "ctx"; check ctx.Err() between iterations or use a Context-aware read`,
 			},
 		},
 		{
@@ -93,6 +112,8 @@ func TestAnalyzersGolden(t *testing.T) {
 				`ordwidth.go:12:9: conversion to byte narrows 64-bit arithmetic result "x * y" to 8 bits; compute in the narrow type or mask explicitly`,
 				`ordwidth.go:17:9: conversion to uint16 narrows 64-bit arithmetic result "n << 4" to 16 bits; compute in the narrow type or mask explicitly`,
 				`ordwidth.go:22:9: conversion to int8 narrows 64-bit arithmetic result "hi - lo" to 8 bits; compute in the narrow type or mask explicitly`,
+				`ordwidth.go:67:9: conversion to uint32 narrows "x >> halfShift" to 32 bits but the shift leaves 48 significant bits; shift further or mask explicitly`,
+				`ordwidth.go:72:9: conversion to uint16 narrows "x & digitMask" to 16 bits but the mask spans 17 bits; tighten the mask to the target width`,
 			},
 		},
 	}
@@ -114,6 +135,33 @@ func TestAnalyzersGolden(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPinflowSubsumesUnpinpair runs pinflow over the retired unpinpair
+// rule's fixture: every defect the old flow-insensitive rule caught is
+// still caught, at the same position with the same message. (The fixture's
+// suppression directive names the old rule, so its planted leak surfaces
+// here too — under pinflow it needs an updated directive.) The leak class
+// pinflow adds on top — unpinned on one branch, leaked on another, which
+// unpinpair's "any Unpin anywhere" check was blind to — is pinned down by
+// the branchLeak case of the pinflow golden fixture above.
+func TestPinflowSubsumesUnpinpair(t *testing.T) {
+	pkg := loadFixture(t, "unpinpair")
+	got := render(RunAnalyzers(pkg, []*Analyzer{Lookup("pinflow")}))
+	want := []string{
+		`unpinpair.go:12:12: frame "f" pinned by Pool.Get is never unpinned in this function`,
+		`unpinpair.go:21:2: frame pinned by Pool.Allocate is discarded; it can never be unpinned`,
+		`unpinpair.go:26:12: frame pinned by Pool.Get is discarded; it can never be unpinned`,
+		`unpinpair.go:32:12: frame "f" pinned by Pool.Get is never unpinned in this function`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
 	}
 }
 
@@ -146,9 +194,54 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestValidateIgnores checks that directives naming unknown rules are
+// surfaced (a typo suppresses nothing, silently) while registered rules
+// and the "all" wildcard pass.
+func TestValidateIgnores(t *testing.T) {
+	pkg := &Package{ignores: []ignoreDirective{
+		{file: "a.go", line: 4, col: 2, rule: "pinflow"},
+		{file: "a.go", line: 9, col: 30, rule: "unpinpair"}, // retired name
+		{file: "b.go", line: 1, col: 1, rule: "all"},
+		{file: "b.go", line: 7, col: 1, rule: "pinfow"}, // typo
+	}}
+	known := func(rule string) bool { return Lookup(rule) != nil }
+	got := render(ValidateIgnores(pkg, known))
+	want := []string{
+		`a.go:9:30: //avqlint:ignore names unknown rule "unpinpair"; run avqlint -list for the rule set`,
+		`b.go:7:1: //avqlint:ignore names unknown rule "pinfow"; run avqlint -list for the rule set`,
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("got:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestSuppressionForms proves both directive placements end to end on real
+// fixtures: the pinflow fixture suppresses with a trailing same-line
+// comment, the ctxflow fixture with a standalone comment on the line
+// above. Both planted defects must stay silent under their rule.
+func TestSuppressionForms(t *testing.T) {
+	for rule, fn := range map[string]string{"pinflow": "suppressedBranchLeak", "ctxflow": "suppressed"} {
+		pkg := loadFixture(t, rule)
+		for _, d := range RunAnalyzers(pkg, []*Analyzer{Lookup(rule)}) {
+			t.Logf("%s: %s", rule, d)
+		}
+		// The golden test already pins the exact surviving set; here we
+		// additionally prove the suppressed function's directive parsed.
+		found := false
+		for _, ig := range pkg.ignores {
+			if ig.rule == rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s fixture: no parsed //avqlint:ignore directive for %s in %s", rule, rule, fn)
+		}
+	}
+}
+
 // TestRegistry checks the full analyzer set is registered and named.
 func TestRegistry(t *testing.T) {
-	want := []string{"arenaalias", "droppederr", "errwrap", "framealias", "lockbalance", "ordwidth", "unpinpair"}
+	want := []string{"arenaescape", "ctxflow", "droppederr", "errwrap", "framealias", "lockbalance", "ordwidth", "pinflow", "snapflow"}
 	var got []string
 	for _, a := range Registry() {
 		got = append(got, a.Name)

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is the machine-readable side of the linter: findings as JSON
+// and the committed-baseline workflow. A baseline is the explicit,
+// reviewed list of findings the repository has accepted (with a count per
+// distinct message); the CI gate fails on anything new AND on anything
+// stale, so the baseline can only shrink through an intentional
+// regeneration that shows up in review.
+
+// Finding is one diagnostic in machine-readable form. File is
+// module-root-relative with forward slashes, so baselines are stable
+// across checkouts.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// ToFindings converts diagnostics to findings, relativizing paths against
+// the module root.
+func ToFindings(diags []Diagnostic, moduleRoot string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(moduleRoot, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, Finding{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// BaselineEntry is one accepted finding class: a {file, rule, message}
+// triple and how many identical findings it covers. Line numbers are
+// deliberately absent — unrelated edits above a finding must not churn
+// the baseline.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(file, rule, message string) string {
+	return file + "\x00" + rule + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, want 1", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline aggregates findings into a baseline.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := make(map[string]*BaselineEntry)
+	var order []string
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Rule, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: f.File, Rule: f.Rule, Message: f.Message, Count: 1}
+		order = append(order, k)
+	}
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, k := range order {
+		b.Findings = append(b.Findings, *counts[k])
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write writes the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into those the baseline accepts and fresh ones,
+// and reports stale entries: accepted findings that no longer occur (or
+// occur fewer times than recorded). Stale entries fail the gate just like
+// fresh findings do — the baseline may only shrink via an explicit
+// regeneration, never by silent drift.
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	remaining := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		remaining[baselineKey(e.File, e.Rule, e.Message)] += e.Count
+	}
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Rule, f.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if n := remaining[baselineKey(e.File, e.Rule, e.Message)]; n > 0 {
+			left := e
+			left.Count = n
+			stale = append(stale, left)
+			remaining[baselineKey(e.File, e.Rule, e.Message)] = 0
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncBody parses a snippet of the form `func f(...) {...}` (wrapped
+// in a package clause here) and returns f's body.
+func parseFuncBody(t *testing.T, fn string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg.go", "package p\n"+fn, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in snippet")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *CFG) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{g.Entry: true}
+	work := []*CFGBlock{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// blockWithIncDec finds the block whose nodes increment the named variable.
+func blockWithIncDec(t *testing.T, g *CFG, name string) *CFGBlock {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			inspectShallow(n, func(nd ast.Node) bool {
+				if inc, ok := nd.(*ast.IncDecStmt); ok {
+					if id, ok := inc.X.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block increments %q", name)
+	return nil
+}
+
+// hasBackEdge reports whether any edge targets an earlier-created block
+// that can reach the edge's source again (a loop).
+func hasBackEdge(g *CFG) bool {
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.To.Index <= e.From.Index && e.To != g.Exit && e.To != g.PanicExit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condEdges counts condition-carrying edges, split by polarity.
+func condEdges(g *CFG) (trues, falses int) {
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				if e.CondTrue {
+					trues++
+				} else {
+					falses++
+				}
+			}
+		}
+	}
+	return
+}
+
+// TestBuildCFG drives the builder over one snippet per control construct
+// and checks the structural properties each analyzer relies on.
+func TestBuildCFG(t *testing.T) {
+	tests := []struct {
+		name  string
+		fn    string
+		check func(t *testing.T, g *CFG)
+	}{
+		{
+			name: "if/else with returns in both arms",
+			fn: `func f(a bool) int {
+				if a {
+					return 1
+				} else {
+					return 2
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				trues, falses := condEdges(g)
+				if trues != 1 || falses != 1 {
+					t.Errorf("cond edges = %d true, %d false; want 1, 1", trues, falses)
+				}
+				// Two live preds (one per return); the empty after-if block
+				// also falls off the end but is unreachable.
+				r := reachable(g)
+				live := 0
+				for _, e := range g.Exit.Preds {
+					if r[e.From] {
+						live++
+					}
+				}
+				if live != 2 {
+					t.Errorf("Exit has %d reachable preds, want 2 (one per return)", live)
+				}
+			},
+		},
+		{
+			name: "if without else falls through on the false edge",
+			fn: `func f(a bool) {
+				x := 0
+				if a {
+					x++
+				}
+				x--
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				_, falses := condEdges(g)
+				if falses != 1 {
+					t.Errorf("false edges = %d, want 1", falses)
+				}
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable")
+				}
+			},
+		},
+		{
+			name: "three-clause for loop has a back edge and a false exit",
+			fn: `func f(n int) {
+				s := 0
+				for i := 0; i < n; i++ {
+					s++
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				if !hasBackEdge(g) {
+					t.Error("no back edge for the loop")
+				}
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable (loop exit edge missing)")
+				}
+			},
+		},
+		{
+			name: "break and continue resolve to the enclosing loop",
+			fn: `func f(a, b bool) {
+				x := 0
+				for {
+					if a {
+						break
+					}
+					if b {
+						continue
+					}
+					x++
+				}
+				x--
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				r := reachable(g)
+				after := blockWithIncDec(t, g, "x") // x-- block: same helper matches x++ first
+				_ = after
+				// The infinite loop's only way out is the break: Exit must
+				// still be reachable through it.
+				if !r[g.Exit] {
+					t.Error("Exit unreachable: break edge missing")
+				}
+				if !hasBackEdge(g) {
+					t.Error("continue/loop-end back edge missing")
+				}
+			},
+		},
+		{
+			name: "labeled break exits the outer loop",
+			fn: `func f(m, n int) {
+			outer:
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						if j > i {
+							break outer
+						}
+					}
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable through labeled break")
+				}
+			},
+		},
+		{
+			name: "switch with fallthrough chains case bodies",
+			fn: `func f(x, a, b, c int) {
+				switch x {
+				case 1:
+					a++
+					fallthrough
+				case 2:
+					b++
+				default:
+					c++
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				caseTwo := blockWithIncDec(t, g, "b")
+				// Entered from the switch head AND from case 1's fallthrough.
+				if n := len(caseTwo.Preds); n != 2 {
+					t.Errorf("fallthrough target has %d preds, want 2", n)
+				}
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable")
+				}
+			},
+		},
+		{
+			name: "switch without default can skip every case",
+			fn: `func f(x, a int) {
+				switch x {
+				case 1:
+					a++
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				// Head must have an edge around the cases; with it, Exit is
+				// reachable even if no case matches.
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable when no case matches")
+				}
+			},
+		},
+		{
+			name: "type switch binds and branches",
+			fn: `func f(x any) int {
+				switch v := x.(type) {
+				case int:
+					return v
+				case string:
+					return len(v)
+				}
+				return 0
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				if n := len(g.Exit.Preds); n != 3 {
+					t.Errorf("Exit has %d preds, want 3", n)
+				}
+			},
+		},
+		{
+			name: "range loop keeps the RangeStmt as its head node",
+			fn: `func f(xs []int) int {
+				s := 0
+				for _, v := range xs {
+					s += v
+				}
+				return s
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				found := false
+				for _, b := range g.Blocks {
+					for _, n := range b.Nodes {
+						if _, ok := n.(*ast.RangeStmt); ok {
+							found = true
+							if len(b.Succs) != 2 {
+								t.Errorf("range head has %d succs, want 2 (body, after)", len(b.Succs))
+							}
+						}
+					}
+				}
+				if !found {
+					t.Error("no block holds the RangeStmt head")
+				}
+				if !hasBackEdge(g) {
+					t.Error("range loop back edge missing")
+				}
+			},
+		},
+		{
+			name: "goto forms a loop through its label",
+			fn: `func f(n int) {
+				i := 0
+			loop:
+				i++
+				if i < n {
+					goto loop
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				label := blockWithIncDec(t, g, "i")
+				// Entered by falling in and by the goto.
+				if n := len(label.Preds); n != 2 {
+					t.Errorf("label block has %d preds, want 2", n)
+				}
+				if !reachable(g)[g.Exit] {
+					t.Error("Exit unreachable")
+				}
+			},
+		},
+		{
+			name: "panic routes to PanicExit, not Exit",
+			fn: `func f(bad bool) int {
+				if bad {
+					panic("bad")
+				}
+				return 1
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				if n := len(g.PanicExit.Preds); n != 1 {
+					t.Errorf("PanicExit has %d preds, want 1", n)
+				}
+				if n := len(g.Exit.Preds); n != 1 {
+					t.Errorf("Exit has %d preds, want 1 (the return only)", n)
+				}
+			},
+		},
+		{
+			name: "defer stays an atomic node on the registering path",
+			fn: `func f() int {
+				defer g()
+				return 1
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				found := false
+				for _, n := range g.Entry.Nodes {
+					if _, ok := n.(*ast.DeferStmt); ok {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("DeferStmt not in the entry block")
+				}
+			},
+		},
+		{
+			name: "select fans out to communication clauses",
+			fn: `func f(c chan int, a, b int) {
+				select {
+				case <-c:
+					a++
+				default:
+					b++
+				}
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				r := reachable(g)
+				if !r[blockWithIncDec(t, g, "a")] || !r[blockWithIncDec(t, g, "b")] {
+					t.Error("a select clause is unreachable")
+				}
+				if !r[g.Exit] {
+					t.Error("Exit unreachable")
+				}
+			},
+		},
+		{
+			name: "code after return is kept as an unreachable block",
+			fn: `func f(x int) int {
+				return x
+				x++
+				return x
+			}`,
+			check: func(t *testing.T, g *CFG) {
+				dead := blockWithIncDec(t, g, "x")
+				if reachable(g)[dead] {
+					t.Error("dead code block should be unreachable from Entry")
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := BuildCFG(parseFuncBody(t, tt.fn))
+			if g.Entry != g.Blocks[0] {
+				t.Error("Blocks[0] is not Entry")
+			}
+			for i, b := range g.Blocks {
+				if b.Index != i {
+					t.Errorf("block %d has Index %d", i, b.Index)
+				}
+				for _, e := range b.Succs {
+					if e.From != b {
+						t.Errorf("edge From mismatch at block %d", i)
+					}
+				}
+			}
+			if len(g.Exit.Nodes) != 0 || len(g.Exit.Succs) != 0 {
+				t.Error("Exit must be empty and terminal")
+			}
+			tt.check(t, g)
+		})
+	}
+}

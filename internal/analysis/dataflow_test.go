@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// assignedVars is the fact type of the test analysis below: the set of
+// variable names assigned on some path. Gen-only over a union lattice, so
+// Transfer is monotone and the fixpoint must converge.
+type assignedVars map[string]bool
+
+var assignedSpec = FlowSpec[assignedVars]{
+	Bottom: func() assignedVars { return assignedVars{} },
+	Clone: func(f assignedVars) assignedVars {
+		c := make(assignedVars, len(f))
+		for k := range f {
+			c[k] = true
+		}
+		return c
+	},
+	Merge: func(dst, src assignedVars) assignedVars {
+		for k := range src {
+			dst[k] = true
+		}
+		return dst
+	},
+	Equal: func(a, b assignedVars) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	},
+	Transfer: func(b *CFGBlock, f assignedVars) assignedVars {
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(nd ast.Node) bool {
+				if as, ok := nd.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+							f[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return f
+	},
+}
+
+// TestRunFlowConvergence runs the union analysis over a loop-heavy body:
+// nested loops, a conditional inside the inner loop, and a goto back edge.
+// The worklist must settle (Converged true, Steps under the backstop) and
+// the exit fact must contain exactly the variables assigned somewhere.
+func TestRunFlowConvergence(t *testing.T) {
+	body := parseFuncBody(t, `func f(n int) {
+		a := 0
+		for i := 0; i < n; i++ {
+			b := i
+			for j := 0; j < b; j++ {
+				c := j
+				if c > 2 {
+					d := c
+					_ = d
+				}
+			}
+		}
+	again:
+		e := n
+		if e > 0 {
+			n--
+			goto again
+		}
+	}`)
+	g := BuildCFG(body)
+	res := RunFlow(g, assignedSpec)
+
+	if !res.Converged {
+		t.Fatalf("fixpoint did not converge in %d steps", res.Steps)
+	}
+	if res.Steps <= len(g.Blocks) {
+		t.Errorf("Steps = %d; loops must force revisits beyond the %d-block seed pass", res.Steps, len(g.Blocks))
+	}
+	if max := 64*len(g.Blocks) + 256; res.Steps >= max {
+		t.Errorf("Steps = %d hit the backstop %d", res.Steps, max)
+	}
+
+	got := res.In[g.Exit]
+	// n is only touched by n-- (an IncDecStmt the transfer above ignores).
+	for _, name := range []string{"a", "b", "c", "d", "e", "i", "j"} {
+		if !got[name] {
+			t.Errorf("exit fact missing %q: %v", name, got)
+		}
+	}
+	if got["f"] || got["_"] {
+		t.Errorf("exit fact has junk names: %v", got)
+	}
+
+	// Facts must be monotone along every edge: In[to] ⊇ Out[from].
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			for k := range res.Out[b] {
+				if !res.In[e.To][k] {
+					t.Errorf("edge %d->%d loses fact %q", e.From.Index, e.To.Index, k)
+				}
+			}
+		}
+	}
+}
+
+// TestRunFlowRefine checks that a Refine hook sharpens facts along the
+// matching polarity edge only.
+func TestRunFlowRefine(t *testing.T) {
+	body := parseFuncBody(t, `func f(ok bool) {
+		x := 1
+		if ok {
+			y := 2
+			_ = y
+		} else {
+			z := 3
+			_ = z
+		}
+	}`)
+	g := BuildCFG(body)
+	spec := assignedSpec
+	// Drop every fact on false edges: the else path must then miss "x".
+	spec.Refine = func(e *CFGEdge, f assignedVars) assignedVars {
+		if e.Cond != nil && !e.CondTrue {
+			for k := range f {
+				delete(f, k)
+			}
+		}
+		return f
+	}
+	res := RunFlow(g, spec)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	var thenB, elseB *CFGBlock
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(nd ast.Node) bool {
+				if as, ok := nd.(*ast.AssignStmt); ok {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok {
+						switch id.Name {
+						case "y":
+							thenB = b
+						case "z":
+							elseB = b
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if thenB == nil || elseB == nil {
+		t.Fatal("branch blocks not found")
+	}
+	if !res.In[thenB]["x"] {
+		t.Error("true edge should keep x")
+	}
+	if res.In[elseB]["x"] {
+		t.Error("false edge should have dropped x")
+	}
+}

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"math/bits"
 )
 
 // AnalyzerOrdWidth guards the mixed-radix ordinal arithmetic (φ and φ⁻¹,
@@ -15,6 +17,12 @@ import (
 // of an addition or multiplication (rather than a plain value, a masked
 // value, or a right-shifted value) is exactly where overflow bugs hide.
 // Constant expressions are exempt: the compiler range-checks those.
+//
+// Masked and right-shifted values are only idiomatic when they actually
+// fit: the rule evaluates constant shift amounts and masks through
+// go/types (so named constants work, not just literals) and flags
+// T(x >> s) when more than T's width of significant bits survive the
+// shift, and T(x & m) when the mask spans more bits than T holds.
 var AnalyzerOrdWidth = &Analyzer{
 	Name: "ordwidth",
 	Doc:  "never narrow the integer width of an arithmetic result with a conversion",
@@ -48,7 +56,7 @@ func runOrdWidth(pass *Pass) {
 			}
 			arg := unparen(call.Args[0])
 			be, ok := arg.(*ast.BinaryExpr)
-			if !ok || !growthOps[be.Op] {
+			if !ok {
 				return true
 			}
 			if av, ok := pass.Pkg.Info.Types[arg]; ok && av.Value != nil {
@@ -58,11 +66,52 @@ func runOrdWidth(pass *Pass) {
 			if !srcOK || dstBits >= srcBits {
 				return true
 			}
-			pass.Report(call.Pos(), "conversion to %s narrows %d-bit arithmetic result %q to %d bits; compute in the narrow type or mask explicitly",
-				types.ExprString(call.Fun), srcBits, types.ExprString(arg), dstBits)
+			switch {
+			case growthOps[be.Op]:
+				pass.Report(call.Pos(), "conversion to %s narrows %d-bit arithmetic result %q to %d bits; compute in the narrow type or mask explicitly",
+					types.ExprString(call.Fun), srcBits, types.ExprString(arg), dstBits)
+			case be.Op == token.SHR:
+				// T(x >> s) with constant s is byte extraction only when at
+				// most T's width of significant bits survive the shift.
+				if sh, ok := constUint(pass, be.Y); ok && sh < uint64(srcBits) {
+					if kept := srcBits - int(sh); kept > dstBits {
+						pass.Report(call.Pos(), "conversion to %s narrows %q to %d bits but the shift leaves %d significant bits; shift further or mask explicitly",
+							types.ExprString(call.Fun), types.ExprString(arg), dstBits, kept)
+					}
+				}
+			case be.Op == token.AND:
+				// T(x & m) with constant m is safe only when m fits in T.
+				m, ok := constUint(pass, be.Y)
+				if !ok {
+					m, ok = constUint(pass, be.X)
+				}
+				if ok && bits.Len64(m) > dstBits {
+					pass.Report(call.Pos(), "conversion to %s narrows %q to %d bits but the mask spans %d bits; tighten the mask to the target width",
+						types.ExprString(call.Fun), types.ExprString(arg), dstBits, bits.Len64(m))
+				}
+			}
 			return true
 		})
 	}
+}
+
+// constUint evaluates e through the type-checker's constant folding — a
+// literal, a named constant, or any constant expression — to a
+// non-negative integer.
+func constUint(pass *Pass, e ast.Expr) (uint64, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	u, exact := constant.Uint64Val(v)
+	if !exact {
+		return 0, false
+	}
+	return u, true
 }
 
 // intWidth returns the bit width of an integer type, treating int, uint,

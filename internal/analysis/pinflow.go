@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerPinFlow proves the buffer-pool pin protocol on every control-flow
+// path: a frame pinned by Pool.Get or Pool.Allocate must be Unpinned, or
+// escape to a new owner (returned, stored, or passed to a callee), on
+// every path from the pin to the function's exit. It supersedes the old
+// syntactic unpinpair rule: where unpinpair was satisfied by any Unpin
+// anywhere in the function, pinflow walks the CFG with a resource lattice
+// and a worklist fixpoint, so a frame unpinned in one branch but leaked in
+// another is reported as a some-path leak. Early-return error handling is
+// understood through edge refinement: on the `err != nil` edge of the
+// acquisition's own error, the pin never happened. A `defer Unpin(f)`
+// releases every path past its registration.
+var AnalyzerPinFlow = &Analyzer{
+	Name: "pinflow",
+	Doc:  "every Pool.Get/Allocate frame must be unpinned or escape on every path",
+	Run:  runPinFlow,
+}
+
+var pinFlowSpec = &resourceSpec{
+	isAcquire: func(p *Pass, call *ast.CallExpr) (string, bool) {
+		_, name, ok := isPoolMethod(p.Pkg, call, "Get", "Allocate")
+		return name, ok
+	},
+	isRelease: func(p *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+		if _, _, ok := isPoolMethod(p.Pkg, call, "Unpin"); ok && len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+		return nil, false
+	},
+	// The pool's own implementation creates and reaps frames freely.
+	skipPkg: func(path string) bool { return strings.HasSuffix(path, bufferPkg) },
+	discardMsg: func(method string) string {
+		return fmt.Sprintf("frame pinned by Pool.%s is discarded; it can never be unpinned", method)
+	},
+	leakAllMsg: func(varName, method string) string {
+		return fmt.Sprintf("frame %q pinned by Pool.%s is never unpinned in this function", varName, method)
+	},
+	leakSomeMsg: func(varName, method string) string {
+		return fmt.Sprintf("frame %q pinned by Pool.%s is unpinned on some paths but leaks on others", varName, method)
+	},
+}
+
+func runPinFlow(pass *Pass) {
+	runResourceFlow(pass, pinFlowSpec)
+}

@@ -1,0 +1,355 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared engine behind the resource-protocol rules
+// (pinflow, snapflow): a resource is acquired by one call family, must be
+// released by another, and may instead escape to a caller who inherits
+// the obligation. The rules differ only in what acquires and releases, so
+// each supplies a resourceSpec and this file does the rest: discover
+// acquisition sites, build the CFG, run the resource lattice to a
+// fixpoint, and report every resource still (possibly) held at exit.
+//
+// The lattice per resource:
+//
+//	resBottom   not acquired on this path (or the acquisition failed)
+//	resHeld     acquired and not yet released
+//	resDone     released, or escaped to someone who owns it now
+//	resMaybe    held on some incoming path and not on others — the
+//	            branch-dependent leak the old syntactic rules missed
+//
+// Merging resHeld with either resBottom or resDone yields resMaybe; at
+// exit, resHeld reports a leak on every path and resMaybe a leak on some
+// path. Edges guarded by `err != nil` (for the err paired with the
+// acquisition) demote resHeld to resBottom, which is what makes the
+// standard early-return idiom clean. `defer release(x)` marks x resDone
+// at the defer statement: every path past a registered defer releases at
+// exit, so for leak detection the registration point is the release.
+
+type resourceSpec struct {
+	// isAcquire reports whether call acquires a resource, and the display
+	// name of the acquiring method (e.g. "Get").
+	isAcquire func(p *Pass, call *ast.CallExpr) (string, bool)
+	// isRelease reports whether call releases a resource, returning the
+	// expression that names it (an argument or the receiver).
+	isRelease func(p *Pass, call *ast.CallExpr) (ast.Expr, bool)
+	// skipPkg suppresses the rule for a package (the resource's own
+	// implementation manages lifetimes the protocol does not cover).
+	skipPkg func(path string) bool
+	// discardMsg formats the report for an acquisition whose result is
+	// discarded outright (blank identifier or bare expression statement).
+	discardMsg func(method string) string
+	// leakAllMsg formats the report for a resource held on every exit path.
+	leakAllMsg func(varName, method string) string
+	// leakSomeMsg formats the report for a resource held on some exit paths.
+	leakSomeMsg func(varName, method string) string
+}
+
+type resState uint8
+
+const (
+	resBottom resState = iota
+	resHeld
+	resDone
+	resMaybe
+)
+
+// mergeRes is the lattice join described above.
+func mergeRes(a, b resState) resState {
+	switch {
+	case a == b:
+		return a
+	case a == resMaybe || b == resMaybe:
+		return resMaybe
+	case a == resBottom && b == resDone, a == resDone && b == resBottom:
+		return resDone
+	default: // resHeld joined with resBottom or resDone
+		return resMaybe
+	}
+}
+
+// resFact is one resource's state on one path. errOK records whether the
+// err variable paired with the acquisition still holds the acquisition's
+// error (a reassignment of err invalidates the pairing and with it the
+// edge refinement).
+type resFact struct {
+	st    resState
+	errOK bool
+}
+
+type resFacts []resFact
+
+// resource is one tracked local acquired in the function.
+type resource struct {
+	obj    types.Object // the variable holding the resource
+	errObj types.Object // the err paired at the acquisition, if any
+	site   token.Pos    // first acquisition position (report anchor)
+	method string       // acquiring method display name
+	// handled records whether ANY release or escape of this resource was
+	// seen anywhere in the function; it selects between the "never
+	// released" and "released on some paths" messages when the fixpoint
+	// lands on resMaybe.
+	handled bool
+}
+
+// runResourceFlow applies spec to every function of the package.
+func runResourceFlow(pass *Pass, spec *resourceSpec) {
+	if spec.skipPkg != nil && spec.skipPkg(pass.Pkg.Path) {
+		return
+	}
+	forEachFunc(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		analyzeResourceFunc(pass, spec, fd)
+	})
+}
+
+func analyzeResourceFunc(pass *Pass, spec *resourceSpec, fd *ast.FuncDecl) {
+	// Discover acquisition sites (the whole body, closures included: an
+	// acquisition inside a closure is interpreted within the atomic node
+	// that mentions the closure, which is where its statements sit in the
+	// graph). Acquisitions whose result is discarded are reported here;
+	// acquisitions into non-identifiers escape at birth and are the new
+	// owner's responsibility.
+	var resources []*resource
+	index := make(map[types.Object]int)
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		method, ok := spec.isAcquire(pass, call)
+		if !ok {
+			return
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.AssignStmt:
+			if len(parent.Rhs) == 1 && len(parent.Lhs) >= 1 {
+				lhs0 := unparen(parent.Lhs[0])
+				if obj := identObj(pass.Pkg, lhs0); obj != nil {
+					if _, seen := index[obj]; !seen {
+						r := &resource{obj: obj, site: call.Pos(), method: method}
+						if len(parent.Lhs) >= 2 {
+							r.errObj = identObj(pass.Pkg, parent.Lhs[1])
+						}
+						index[obj] = len(resources)
+						resources = append(resources, r)
+					}
+					return
+				}
+				if id, isIdent := lhs0.(*ast.Ident); !isIdent || id.Name != "_" {
+					// s.f = acquire(): escapes at birth, the field's owner
+					// inherits the release obligation.
+					return
+				}
+			}
+			pass.Report(call.Pos(), "%s", spec.discardMsg(method))
+		case *ast.ExprStmt:
+			pass.Report(call.Pos(), "%s", spec.discardMsg(method))
+		default:
+			// Nested in a return, call, or composite literal: the value
+			// escapes at birth and the receiver owns the release.
+		}
+	})
+	if len(resources) == 0 {
+		return
+	}
+
+	g := BuildCFG(fd.Body)
+	flow := FlowSpec[resFacts]{
+		Bottom: func() resFacts { return make(resFacts, len(resources)) },
+		Clone: func(f resFacts) resFacts {
+			c := make(resFacts, len(f))
+			copy(c, f)
+			return c
+		},
+		Merge: func(dst, src resFacts) resFacts {
+			for i := range dst {
+				dst[i].st = mergeRes(dst[i].st, src[i].st)
+				dst[i].errOK = dst[i].errOK && src[i].errOK
+			}
+			return dst
+		},
+		Equal: func(a, b resFacts) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+		Refine: func(e *CFGEdge, f resFacts) resFacts {
+			refineResEdge(pass, resources, e, f)
+			return f
+		},
+		Transfer: func(b *CFGBlock, f resFacts) resFacts {
+			for _, n := range b.Nodes {
+				transferResNode(pass, spec, resources, index, n, f)
+			}
+			return f
+		},
+	}
+	res := RunFlow(g, flow)
+
+	for i, r := range resources {
+		switch res.In[g.Exit][i].st {
+		case resHeld:
+			pass.Report(r.site, "%s", spec.leakAllMsg(r.obj.Name(), r.method))
+		case resMaybe:
+			// resMaybe from merging Held with "never acquired" (the failed
+			// acquisition's path) is still a leak on every path that holds
+			// the resource; only an actual release or escape somewhere
+			// makes it a genuine some-path leak.
+			if r.handled {
+				pass.Report(r.site, "%s", spec.leakSomeMsg(r.obj.Name(), r.method))
+			} else {
+				pass.Report(r.site, "%s", spec.leakAllMsg(r.obj.Name(), r.method))
+			}
+		}
+	}
+}
+
+// transferResNode interprets one atomic node against the facts.
+func transferResNode(pass *Pass, spec *resourceSpec, resources []*resource, index map[types.Object]int, n ast.Node, f resFacts) {
+	shallowWalkWithStack(n, func(nd ast.Node, stack []ast.Node) {
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			if expr, ok := spec.isRelease(pass, nd); ok {
+				if obj := identObj(pass.Pkg, unparen(expr)); obj != nil {
+					if i, tracked := index[obj]; tracked {
+						f[i].st = resDone
+						resources[i].handled = true
+					}
+				}
+			}
+
+		case *ast.AssignStmt:
+			isAcq := false
+			if len(nd.Rhs) == 1 {
+				if call, ok := unparen(nd.Rhs[0]).(*ast.CallExpr); ok {
+					if _, ok := spec.isAcquire(pass, call); ok {
+						isAcq = true
+						if obj := identObj(pass.Pkg, nd.Lhs[0]); obj != nil {
+							if i, tracked := index[obj]; tracked {
+								f[i] = resFact{st: resHeld, errOK: resources[i].errObj != nil}
+							}
+						}
+					}
+				}
+			}
+			if !isAcq {
+				// A reassignment of a paired err breaks the pairing: a
+				// later `if err != nil` no longer talks about the
+				// acquisition, so the refinement must stop firing.
+				for _, lhs := range nd.Lhs {
+					obj := identObj(pass.Pkg, lhs)
+					if obj == nil {
+						continue
+					}
+					for i, r := range resources {
+						if r.errObj == obj {
+							f[i].errOK = false
+						}
+					}
+				}
+			}
+
+		case *ast.Ident:
+			obj := pass.Pkg.Info.Uses[nd]
+			if obj == nil {
+				return
+			}
+			i, tracked := index[obj]
+			if !tracked {
+				return
+			}
+			if escapesAt(pass, spec, nd, stack) {
+				f[i].st = resDone
+				resources[i].handled = true
+			}
+		}
+	})
+}
+
+// escapesAt classifies one use of a tracked identifier: true when the use
+// hands the resource to something that outlives the statement (a callee,
+// the caller, a container, a channel), which transfers the release
+// obligation.
+func escapesAt(pass *Pass, spec *resourceSpec, id *ast.Ident, stack []ast.Node) bool {
+	switch parent := parentOf(stack).(type) {
+	case *ast.SelectorExpr:
+		// f.Data(), sn.NumBlocks(): plain use. (A release through the
+		// selector was already handled at the CallExpr.)
+		return false
+	case *ast.CallExpr:
+		if _, ok := spec.isRelease(pass, parent); ok {
+			return false
+		}
+		return true
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.IndexExpr:
+		// m[f] = ... or ...[f]: used as a key or index, which stores or
+		// publishes it; f[i] cannot occur for these resource types.
+		return true
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	case *ast.AssignStmt:
+		for _, rhs := range parent.Rhs {
+			if unparen(rhs) == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refineResEdge sharpens facts along a condition edge: on the path where
+// the acquisition's paired err is non-nil the acquisition failed and the
+// resource was never held; on the path where the resource itself is nil
+// likewise.
+func refineResEdge(pass *Pass, resources []*resource, e *CFGEdge, f resFacts) {
+	if e.Cond == nil {
+		return
+	}
+	be, ok := unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(be.X):
+		other = be.Y
+	case isNilIdent(be.Y):
+		other = be.X
+	default:
+		return
+	}
+	obj := identObj(pass.Pkg, unparen(other))
+	if obj == nil {
+		return
+	}
+	// isNil: does this edge assert `other == nil`?
+	isNil := (be.Op == token.EQL) == e.CondTrue
+	for i, r := range resources {
+		if f[i].st != resHeld {
+			continue
+		}
+		if r.errObj == obj && f[i].errOK && !isNil {
+			// err != nil: the acquisition failed on this path.
+			f[i].st = resBottom
+		}
+		if r.obj == obj && isNil {
+			// The resource is nil here: nothing was acquired.
+			f[i].st = resBottom
+		}
+	}
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

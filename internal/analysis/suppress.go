@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -20,6 +21,7 @@ const ignorePrefix = "//avqlint:ignore"
 type ignoreDirective struct {
 	file string
 	line int
+	col  int
 	rule string
 }
 
@@ -41,10 +43,32 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
 				out = append(out, ignoreDirective{
 					file: pos.Filename,
 					line: pos.Line,
+					col:  pos.Column,
 					rule: fields[0],
 				})
 			}
 		}
+	}
+	return out
+}
+
+// ValidateIgnores returns a diagnostic for every suppression directive in
+// pkg naming a rule that known does not recognize. A typo in a directive
+// suppresses nothing, silently — after a rule rename (unpinpair→pinflow,
+// arenaalias→arenaescape) the stale directives are exactly the lines whose
+// suppressed findings came back, so the CLI surfaces them as findings of
+// the synthetic rule "ignore".
+func ValidateIgnores(pkg *Package, known func(rule string) bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range pkg.ignores {
+		if d.rule == "all" || known(d.rule) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     token.Position{Filename: d.file, Line: d.line, Column: d.col},
+			Rule:    "ignore",
+			Message: fmt.Sprintf("//avqlint:ignore names unknown rule %q; run avqlint -list for the rule set", d.rule),
+		})
 	}
 	return out
 }

@@ -51,3 +51,33 @@ func goodSameWidth(a, b uint64) int {
 func goodConstant() uint8 {
 	return uint8(3 + 4)
 }
+
+// halfShift and digitMask are named constants the checker must evaluate
+// through go/types; the old literal-only reasoning was blind to them.
+const (
+	halfShift = 16
+	topShift  = 56
+	digitMask = 0x1ffff // 17 bits
+	byteMask  = 0xff
+)
+
+// truncateNamedShift keeps 48 significant bits of a 64-bit value but
+// converts to 32: the top 16 are silently dropped.
+func truncateNamedShift(x uint64) uint32 {
+	return uint32(x >> halfShift)
+}
+
+// truncateWideMask masks to 17 bits and converts to 16.
+func truncateWideMask(x uint64) uint16 {
+	return uint16(x & digitMask)
+}
+
+// goodNamedShift leaves exactly 8 bits for a byte.
+func goodNamedShift(v uint64) byte {
+	return byte(v >> topShift)
+}
+
+// goodNamedMask masks to exactly the target width.
+func goodNamedMask(v uint64) byte {
+	return byte(v & byteMask)
+}

@@ -85,3 +85,45 @@ func unparen(e ast.Expr) ast.Expr {
 		e = p.X
 	}
 }
+
+// bufferPkg suffix-matches the buffer-pool package that defines Pool and
+// Frame.
+const bufferPkg = "internal/buffer"
+
+// isPoolMethod reports whether call invokes the named method on a
+// buffer.Pool receiver, returning the receiver expression.
+func isPoolMethod(pkg *Package, call *ast.CallExpr, names ...string) (ast.Expr, string, bool) {
+	recv, name, ok := methodCall(pkg, call)
+	if !ok || !namedFrom(pkg.Info.TypeOf(recv), bufferPkg, "Pool") {
+		return nil, "", false
+	}
+	for _, n := range names {
+		if name == n {
+			return recv, name, true
+		}
+	}
+	return nil, "", false
+}
+
+// walkWithStack traverses n, calling fn with each node and the stack of its
+// ancestors (nearest last, not including the node itself).
+func walkWithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parentOf returns the immediate ancestor from a walkWithStack stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}

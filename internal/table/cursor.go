@@ -100,6 +100,8 @@ func (t *Table) planGroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr in
 }
 
 // groupByRun executes a planned GroupBy pass: stream, bucket, sort.
+//
+// Deprecated: use groupByRunCtx so cancellation reaches the executor.
 func groupByRun(r queryRun, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
 	return groupByRunCtx(context.Background(), r, groupAttr, aggAttr)
 }

@@ -72,7 +72,7 @@ func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple)
 		page, ok := t.homeBlock(batch[start])
 		if !ok {
 			// Cannot happen on a non-empty table, but fail safe.
-			if err := t.Insert(batch[start]); err != nil {
+			if err := t.InsertContext(ctx, batch[start]); err != nil {
 				return err
 			}
 			start++
@@ -260,7 +260,9 @@ func (t *Table) CompactContext(ctx context.Context) (before, after int, err erro
 	}
 	t.size = 0
 
-	// Reload tightly packed.
+	// Reload tightly packed. Deliberately ctx-blind: the old layout is
+	// already torn down, so aborting here would leave the table empty.
+	//avqlint:ignore ctxflow rewrite must run to completion once teardown starts
 	refs, err := t.store.BulkLoad(all)
 	if err != nil {
 		return before, before, err
@@ -269,6 +271,7 @@ func (t *Table) CompactContext(ctx context.Context) (before, after int, err erro
 		t.primary.Insert(t.schema.EncodeTuple(nil, ref.First), ref.Page)
 	}
 	if len(t.secondary) > 0 {
+		//avqlint:ignore ctxflow index rebuild is part of the uninterruptible rewrite
 		if err := t.store.ScanBlocks(func(id storage.PageID, ts []relation.Tuple) bool {
 			t.registerTuples(id, ts)
 			return true

@@ -207,6 +207,8 @@ func (t *Table) planAggregate(attr int, lo, hi uint64, aggAttr int) (queryRun, e
 }
 
 // aggregateRun executes a planned aggregate pass without materializing rows.
+//
+// Deprecated: use aggregateRunCtx so cancellation reaches the executor.
 func aggregateRun(r queryRun, aggAttr int) (AggregateResult, QueryStats, error) {
 	return aggregateRunCtx(context.Background(), r, aggAttr)
 }

@@ -81,6 +81,8 @@ type queryRun struct {
 
 // run executes the planned pass through the executor, releases the
 // snapshot, and folds the executor's accounting into QueryStats.
+//
+// Deprecated: use runCtx so cancellation reaches the executor.
 func (r queryRun) run(emit func(relation.Tuple) bool) (QueryStats, error) {
 	return r.runCtx(context.Background(), emit)
 }

@@ -477,7 +477,7 @@ func (t *Table) InsertContext(ctx context.Context, tu relation.Tuple) error {
 	page, ok := t.homeBlock(tu)
 	if !ok {
 		// Empty table: seed the store.
-		refs, err := t.store.BulkLoad([]relation.Tuple{tu.Clone()})
+		refs, err := t.store.BulkLoadContext(ctx, []relation.Tuple{tu.Clone()})
 		if err != nil {
 			return err
 		}
