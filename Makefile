@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode benchgate
+.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal benchgate crash
 
 check:
 	sh scripts/check.sh
@@ -17,7 +17,12 @@ test:
 race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
 		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
-		./internal/core ./internal/analysis
+		./internal/core ./internal/analysis ./internal/wal
+
+# The kill-at-every-syscall fault-injection matrix: crash at each I/O
+# point, recover, and prove the table replays every acknowledged write.
+crash:
+	$(GO) test ./internal/wal -run 'TestKillEverySyscall|TestKillDuringRecovery' -count=1 -v
 
 bench-decode:
 	$(GO) run ./cmd/avqbench -exp decode
@@ -30,6 +35,9 @@ bench-pruning:
 
 bench-obs:
 	$(GO) run ./cmd/avqbench -exp obs
+
+bench-wal:
+	$(GO) run ./cmd/avqbench -exp wal
 
 lint:
 	$(GO) vet ./...

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -143,6 +143,17 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 				return err
 			}
 			return writeDecodeJSON(r)
+		case "wal":
+			r, err := experiments.RunWAL(experiments.WALConfig{
+				Tuples: tuples, PageSize: pageSize, Writers: parallel, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeWALJSON(r)
 		case "cpusweep":
 			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
@@ -159,7 +170,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal"} {
 		if i > 0 {
 			sep()
 		}
@@ -206,6 +217,21 @@ func writeObsJSON(r *experiments.ObsResult) error {
 // its pass field and compares the macro workload against the baseline.
 func writeDecodeJSON(r *experiments.DecodeResult) error {
 	f, err := os.Create("BENCH_decode.json")
+	if err != nil {
+		return err
+	}
+	werr := r.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeWALJSON records the group-commit measurement as BENCH_wal.json in
+// the working directory; scripts/benchgate.sh reads its pass field.
+func writeWALJSON(r *experiments.WALResult) error {
+	f, err := os.Create("BENCH_wal.json")
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@
 //	avqdb compact -db file
 //	avqdb stats   -db file [-live]
 //	avqdb verify  -db file
+//	avqdb wal     -db file
 //	avqdb serve   -db file -listen :6060 [-slowms 50]
 //
 // stats -live opens the table instrumented, replays a representative
@@ -37,6 +38,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/relfile"
 	"repro/internal/table"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -90,7 +92,7 @@ type args struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|serve -db FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|wal|serve -db FILE [flags]")
 }
 
 func run(cmd string, a args) error {
@@ -115,6 +117,8 @@ func run(cmd string, a args) error {
 		return stats(a)
 	case "verify":
 		return verify(a)
+	case "wal":
+		return walInspect(a)
 	case "serve":
 		return serve(a)
 	default:
@@ -437,6 +441,35 @@ func replayWorkload(tb *table.Table) error {
 // serve mounts the opt-in debug endpoint over an instrumented table. The
 // workload is replayed once at startup so /metrics is not empty; after
 // that the handler serves whatever the registry accumulates.
+// walInspect prints the write-ahead log's segments without opening (or
+// replaying into) the table, so it is safe to run on a crashed image.
+func walInspect(a args) error {
+	segs, err := wal.Inspect(nil, a.db+".wal")
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		fmt.Printf("%s: no write-ahead log (checkpoint-only durability)\n", a.db)
+		return nil
+	}
+	fmt.Printf("%-28s %12s %8s %8s %6s %s\n", "segment", "generation", "records", "bytes", "torn", "header")
+	var records int
+	for _, s := range segs {
+		head := "ok"
+		if !s.HeaderOK {
+			head = "DAMAGED"
+		}
+		torn := "-"
+		if s.TornTail {
+			torn = "yes"
+		}
+		fmt.Printf("%-28s %12d %8d %8d %6s %s\n", s.Name, s.BaseGen, s.Records, s.Bytes, torn, head)
+		records += s.Records
+	}
+	fmt.Printf("%d segment(s), %d replayable record(s)\n", len(segs), records)
+	return nil
+}
+
 func serve(a args) error {
 	reg := obs.NewRegistry()
 	tb, err := table.Open(a.db, table.WithObs(reg), table.WithSlowOpThreshold(time.Duration(a.slowMs)*time.Millisecond))

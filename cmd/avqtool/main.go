@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -110,13 +111,14 @@ func compress(in, out, codecName string, blockSize int) error {
 	if err != nil {
 		return err
 	}
-	fout, err := os.Create(out)
+	var buf bytes.Buffer
+	info, err := relfile.WriteCompressed(&buf, schema, tuples, codec, blockSize)
 	if err != nil {
 		return err
 	}
-	defer fout.Close()
-	info, err := relfile.WriteCompressed(fout, schema, tuples, codec, blockSize)
-	if err != nil {
+	// Atomic temp+rename with parent-dir fsync: a crash mid-write leaves
+	// either the old file or the complete new one, never a torn output.
+	if err := storage.WriteFileAtomic(storage.OSFS{}, out, buf.Bytes()); err != nil {
 		return err
 	}
 	rawBytes := len(tuples) * schema.RowSize()
@@ -124,7 +126,7 @@ func compress(in, out, codecName string, blockSize int) error {
 		out, info.Tuples, info.Blocks, info.BlockSize, info.Codec)
 	fmt.Printf("coded payload %d bytes vs packed rows %d bytes: %.1f%% reduction\n",
 		info.StreamBytes, rawBytes, 100*(1-float64(info.StreamBytes)/float64(rawBytes)))
-	return fout.Sync()
+	return nil
 }
 
 func decompress(in, out string) error {
@@ -140,16 +142,15 @@ func decompress(in, out string) error {
 	if err != nil {
 		return err
 	}
-	fout, err := os.Create(out)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := relfile.WritePlain(&buf, schema, tuples); err != nil {
 		return err
 	}
-	defer fout.Close()
-	if err := relfile.WritePlain(fout, schema, tuples); err != nil {
+	if err := storage.WriteFileAtomic(storage.OSFS{}, out, buf.Bytes()); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d tuples restored in phi order\n", out, len(tuples))
-	return fout.Sync()
+	return nil
 }
 
 func inspect(in string) error {
@@ -251,31 +252,33 @@ func convert(in, out string) error {
 		return err
 	}
 	defer fin.Close()
-	fout, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer fout.Close()
+	var buf bytes.Buffer
 	if strings.HasSuffix(out, ".csv") {
 		schema, tuples, err := relfile.ReadPlain(fin)
 		if err != nil {
 			return err
 		}
-		if err := relfile.WriteCSV(fout, schema, tuples); err != nil {
+		if err := relfile.WriteCSV(&buf, schema, tuples); err != nil {
+			return err
+		}
+		if err := storage.WriteFileAtomic(storage.OSFS{}, out, buf.Bytes()); err != nil {
 			return err
 		}
 		fmt.Printf("%s: %d tuples as CSV\n", out, len(tuples))
-		return fout.Sync()
+		return nil
 	}
 	schema, tuples, err := relfile.ReadCSV(fin, nil)
 	if err != nil {
 		return err
 	}
-	if err := relfile.WritePlain(fout, schema, tuples); err != nil {
+	if err := relfile.WritePlain(&buf, schema, tuples); err != nil {
+		return err
+	}
+	if err := storage.WriteFileAtomic(storage.OSFS{}, out, buf.Bytes()); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d tuples over inferred schema %s\n", out, len(tuples), schema)
-	return fout.Sync()
+	return nil
 }
 
 // metrics loads a plain relation into an instrumented in-memory table,

@@ -96,6 +96,43 @@ type Store struct {
 	// The encoded stream is copied onto the page before the next encode,
 	// so reusing the capacity across blocks is safe.
 	encBuf []byte
+
+	// hook, when set, observes every manifest publication on the mutation
+	// path (see SetCommitHook). Called by the single mutator, after the
+	// publish, so implementations see the post-commit state.
+	hook func(CommitEvent)
+}
+
+// CommitEvent describes one manifest publication on the mutation path.
+type CommitEvent struct {
+	// Kind is the publication source: "rewrite", "split", "remove",
+	// "bulkload", or "reset".
+	Kind string
+	// Pages is the number of freshly written data pages the publication
+	// introduced (0 for removals and resets).
+	Pages int
+}
+
+// SetCommitHook registers fn to run after every manifest publication made
+// by a mutation (rewrite, split, empty-block removal, bulk load, reset).
+// The WAL-enabled table uses it to account page commits against the log;
+// observability layers can count them. fn runs on the mutating goroutine
+// with no store locks held and must not mutate the store.
+func (s *Store) SetCommitHook(fn func(CommitEvent)) { s.hook = fn }
+
+// notifyCommit invokes the commit hook if one is registered.
+func (s *Store) notifyCommit(kind string, pages int) {
+	if s.hook != nil {
+		s.hook(CommitEvent{Kind: kind, Pages: pages})
+	}
+}
+
+// LiveSnapshots returns the number of unreleased snapshots — zero in a
+// quiescent store; crash and cancellation tests assert no leaks.
+func (s *Store) LiveSnapshots() int {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapRefs
 }
 
 // New creates an empty store over the pool.
@@ -183,7 +220,10 @@ func (s *Store) BulkLoadContext(ctx context.Context, tuples []relation.Tuple) ([
 	m := newManifest()
 	// Publish even on error so pages written before the failure stay
 	// tracked by the store (Reset can then free them) instead of leaking.
-	defer func() { s.man.Store(m) }()
+	defer func() {
+		s.man.Store(m)
+		s.notifyCommit("bulkload", len(m.blocks))
+	}()
 	if s.parallel() {
 		if z, ok := core.NewSizer(s.codec, s.schema); ok {
 			return s.bulkLoadParallel(ctx, m, z, tuples)
@@ -232,7 +272,10 @@ func (s *Store) BulkLoadStreamContext(ctx context.Context, next func() (relation
 		return nil, errors.New("blockstore: bulk load into non-empty store")
 	}
 	m := newManifest()
-	defer func() { s.man.Store(m) }()
+	defer func() {
+		s.man.Store(m)
+		s.notifyCommit("bulkload", len(m.blocks))
+	}()
 	var sizer *core.Sizer
 	if s.parallel() {
 		if z, ok := core.NewSizer(s.codec, s.schema); ok {
@@ -503,6 +546,7 @@ func (s *Store) DeleteFromBlock(id storage.PageID, t relation.Tuple) (MutationRe
 		delete(m.pos, id)
 		m.reindexFrom(at)
 		s.man.Store(m)
+		s.notifyCommit("remove", 0)
 		if err := s.freeBlockPage(id); err != nil {
 			return MutationResult{}, false, err
 		}
@@ -558,6 +602,7 @@ func (s *Store) rewritePublish(id storage.PageID, tuples []relation.Tuple) (Muta
 		delete(m.pos, id)
 		m.pos[newID] = at
 		s.man.Store(m)
+		s.notifyCommit("rewrite", 1)
 		if err := s.freeBlockPage(id); err != nil {
 			return MutationResult{}, err
 		}
@@ -690,6 +735,7 @@ func (s *Store) splitBlock(m *manifest, id storage.PageID, tuples []relation.Tup
 	}
 	m.reindexFrom(at)
 	s.man.Store(m)
+	s.notifyCommit("split", len(newIDs))
 	if err := s.freeBlockPage(id); err != nil {
 		return MutationResult{}, err
 	}
@@ -701,6 +747,7 @@ func (s *Store) splitBlock(m *manifest, id storage.PageID, tuples []relation.Tup
 func (s *Store) Reset() error {
 	old := s.man.Load()
 	s.man.Store(newManifest())
+	s.notifyCommit("reset", 0)
 	err := s.freeAll(old.blocks)
 	if s.cache != nil {
 		s.cache.clear()

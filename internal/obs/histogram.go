@@ -74,6 +74,15 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveValue records one unitless value (a batch size, a byte count) in
+// the same fixed buckets. Count/Sum/Max and Mean are exact; the duration-
+// oriented bucket ladder starts at 1000, so quantiles for small values are
+// coarse — callers wanting distribution shape for small integers should
+// read Mean and MaxNs from the snapshot.
+func (h *Histogram) ObserveValue(v int64) {
+	h.Observe(time.Duration(v))
+}
+
 // Count returns the number of observations (0 on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -1,0 +1,440 @@
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// FaultFS is an in-memory storage.FS with an explicit durability model and
+// syscall-level fault injection. It exists so crash tests can enumerate
+// "the machine lost power during syscall i" for every i in a workload and
+// prove recovery from each resulting disk image.
+//
+// Durability model (deliberately the weakest POSIX allows):
+//   - WriteAt changes only the volatile image; the durable image advances
+//     only on File.Sync.
+//   - Creating, renaming or removing a file changes only the volatile
+//     namespace; the durable namespace advances only on SyncDir of the
+//     parent directory.
+//   - Crash discards volatile state: every file reverts to its durable
+//     image and the namespace reverts to the durable namespace. In torn
+//     mode, each unsynced write independently persists, partially persists
+//     (a prefix), or is lost — modeling reordered and torn sector writes.
+//
+// Fault injection: every mutating syscall (write, sync, syncdir, create,
+// rename, remove, truncate) consumes one operation tick. CrashAt(n) makes
+// the n-th tick — and everything after it — fail with ErrCrashed without
+// taking effect; FailAt(n, err) makes exactly the n-th tick fail with err
+// (a transient I/O error, not a crash). OpCount reports ticks consumed so
+// harnesses can size their kill matrix.
+type FaultFS struct {
+	mu      sync.Mutex
+	files   map[string]*faultFile // volatile namespace
+	durNS   map[string]*faultFile // durable namespace (post-crash survivors)
+	dirs    map[string]bool
+	ops     int64
+	crashAt int64
+	failAt  int64
+	failErr error
+	crashed bool
+
+	// SyncDelay, when nonzero, is the modeled latency charged (slept) by
+	// every File.Sync and SyncDir — the knob that makes group-commit
+	// batching measurable on hosts where real fsync is free (tmpfs).
+	SyncDelay time.Duration
+
+	// Counters for assertions and benchmarks.
+	Syncs    int64 // File.Sync calls that succeeded
+	DirSyncs int64 // SyncDir calls that succeeded
+	Writes   int64 // WriteAt calls that succeeded
+}
+
+type faultFile struct {
+	data    []byte         // volatile contents
+	synced  []byte         // durable contents as of the last Sync
+	pending []pendingWrite // unsynced writes, for torn-crash replay
+}
+
+type pendingWrite struct {
+	off  int64
+	data []byte
+}
+
+// ErrCrashed is returned by every operation after the injected crash point
+// has been reached. The harness treats it as the process having been
+// killed: abandon all handles, Recover the FS, and reopen.
+var ErrCrashed = errors.New("simdisk: crashed")
+
+// ErrInjected is the default error delivered by FailAt.
+var ErrInjected = errors.New("simdisk: injected I/O error")
+
+// NewFaultFS returns an empty fault-injecting filesystem.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		files: make(map[string]*faultFile),
+		durNS: make(map[string]*faultFile),
+		dirs:  map[string]bool{".": true, "/": true},
+	}
+}
+
+// CrashAt arms a hard stop: the n-th subsequent operation tick (1-based)
+// and every tick after it fail with ErrCrashed and have no effect.
+// n <= 0 disarms.
+func (fs *FaultFS) CrashAt(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ops = 0
+	fs.crashAt = n
+	fs.crashed = false
+}
+
+// FailAt arms a transient fault: exactly the n-th subsequent operation
+// tick (1-based) fails with err (ErrInjected if nil) and has no effect;
+// later operations proceed normally. n <= 0 disarms.
+func (fs *FaultFS) FailAt(n int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ops = 0
+	fs.failAt = n
+	if err == nil {
+		err = ErrInjected
+	}
+	fs.failErr = err
+}
+
+// OpCount returns the number of operation ticks consumed since the last
+// CrashAt/FailAt arm (or since creation).
+func (fs *FaultFS) OpCount() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// tick consumes one fault-injection tick. Callers hold fs.mu.
+func (fs *FaultFS) tick() error {
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.ops++
+	if fs.crashAt > 0 && fs.ops >= fs.crashAt {
+		fs.crashed = true
+		return ErrCrashed
+	}
+	if fs.failAt > 0 && fs.ops == fs.failAt {
+		return fs.failErr
+	}
+	return nil
+}
+
+// Recover simulates the machine rebooting after a crash: all volatile
+// state is discarded and the filesystem reverts to its durable image.
+// Fault arming is cleared. In strict mode (torn == nil) unsynced writes
+// are lost entirely; with torn != nil each unsynced write independently
+// persists fully, partially (a prefix), or not at all, driven by the
+// given deterministic source.
+func (fs *FaultFS) Recover(torn *rand.Rand) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	next := make(map[string]*faultFile, len(fs.durNS))
+	for name, f := range fs.durNS {
+		nf := &faultFile{data: append([]byte(nil), f.synced...)}
+		if torn != nil {
+			for _, w := range f.pending {
+				switch torn.Intn(3) {
+				case 0: // lost
+				case 1: // fully persisted
+					nf.writeAt(w.data, w.off)
+				case 2: // torn: a prefix persisted
+					n := torn.Intn(len(w.data) + 1)
+					nf.writeAt(w.data[:n], w.off)
+				}
+			}
+		}
+		nf.synced = append([]byte(nil), nf.data...)
+		next[name] = nf
+	}
+	fs.files = next
+	fs.durNS = make(map[string]*faultFile, len(next))
+	for name, f := range next {
+		fs.durNS[name] = f
+	}
+	fs.ops, fs.crashAt, fs.failAt, fs.crashed = 0, 0, 0, false
+}
+
+func (f *faultFile) writeAt(p []byte, off int64) {
+	end := off + int64(len(p))
+	if int64(len(f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], p)
+}
+
+func cleanPath(p string) string { return filepath.Clean(p) }
+
+// OpenFile implements storage.FS.
+func (fs *FaultFS) OpenFile(path string, flag int) (storage.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	path = cleanPath(path)
+	f, ok := fs.files[path]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	case ok && flag&os.O_EXCL != 0:
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrExist}
+	case !ok:
+		if err := fs.tick(); err != nil {
+			return nil, err
+		}
+		f = &faultFile{}
+		fs.files[path] = f
+	case flag&os.O_TRUNC != 0:
+		if err := fs.tick(); err != nil {
+			return nil, err
+		}
+		f.data = nil
+		f.pending = append(f.pending, pendingWrite{0, nil})
+	}
+	return &faultHandle{fs: fs, f: f, path: path}, nil
+}
+
+// Remove implements storage.FS.
+func (fs *FaultFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	path = cleanPath(path)
+	if _, ok := fs.files[path]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	if err := fs.tick(); err != nil {
+		return err
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Rename implements storage.FS.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldpath, newpath = cleanPath(oldpath), cleanPath(newpath)
+	f, ok := fs.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	if err := fs.tick(); err != nil {
+		return err
+	}
+	fs.files[newpath] = f
+	delete(fs.files, oldpath)
+	return nil
+}
+
+// MkdirAll implements storage.FS. Directories carry no durability state of
+// their own beyond membership in the namespace maps.
+func (fs *FaultFS) MkdirAll(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.dirs[cleanPath(path)] = true
+	return nil
+}
+
+// ReadDir implements storage.FS.
+func (fs *FaultFS) ReadDir(path string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	path = cleanPath(path)
+	var names []string
+	for p := range fs.files {
+		if filepath.Dir(p) == path {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	if names == nil && !fs.dirs[path] {
+		return nil, &os.PathError{Op: "readdir", Path: path, Err: os.ErrNotExist}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements storage.FS: directory-entry creates, renames, and
+// removes under path become durable.
+func (fs *FaultFS) SyncDir(path string) error {
+	fs.mu.Lock()
+	delay := fs.SyncDelay
+	if err := fs.tick(); err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	path = cleanPath(path)
+	inDir := func(p string) bool { return filepath.Dir(p) == path }
+	for p := range fs.durNS {
+		if inDir(p) {
+			if _, live := fs.files[p]; !live {
+				delete(fs.durNS, p)
+			}
+		}
+	}
+	for p, f := range fs.files {
+		if inDir(p) {
+			fs.durNS[p] = f
+		}
+	}
+	fs.DirSyncs++
+	fs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// Stat implements storage.FS.
+func (fs *FaultFS) Stat(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	f, ok := fs.files[cleanPath(path)]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: path, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+// DumpTree returns a human-readable listing of the volatile and durable
+// state, for debugging failed crash-matrix cases.
+func (fs *FaultFS) DumpTree() string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var sb strings.Builder
+	var names []string
+	for p := range fs.files {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		f := fs.files[p]
+		_, durable := fs.durNS[p]
+		fmt.Fprintf(&sb, "%s: %d bytes (%d synced, link durable=%v)\n",
+			p, len(f.data), len(f.synced), durable)
+	}
+	return sb.String()
+}
+
+// faultHandle is an open-file handle on a FaultFS.
+type faultHandle struct {
+	fs     *FaultFS
+	f      *faultFile
+	path   string
+	closed bool
+}
+
+// ReadAt implements storage.File.
+func (h *faultHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements storage.File. The write lands in the volatile image
+// only; it is recorded as pending so a torn crash can partially apply it.
+func (h *faultHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if err := h.fs.tick(); err != nil {
+		return 0, err
+	}
+	h.f.writeAt(p, off)
+	h.f.pending = append(h.f.pending, pendingWrite{off, append([]byte(nil), p...)})
+	h.fs.Writes++
+	return len(p), nil
+}
+
+// Truncate implements storage.File.
+func (h *faultHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if err := h.fs.tick(); err != nil {
+		return err
+	}
+	if int64(len(h.f.data)) > size {
+		h.f.data = h.f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	return nil
+}
+
+// Sync implements storage.File: the volatile image becomes the durable
+// image.
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	if h.closed {
+		h.fs.mu.Unlock()
+		return os.ErrClosed
+	}
+	delay := h.fs.SyncDelay
+	if err := h.fs.tick(); err != nil {
+		h.fs.mu.Unlock()
+		return err
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	h.f.pending = nil
+	h.fs.Syncs++
+	h.fs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// Close implements storage.File. Closing never makes anything durable.
+func (h *faultHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -172,7 +173,7 @@ func (p *MemPager) Close() error {
 type FilePager struct {
 	mu        sync.Mutex
 	pageSize  int
-	f         *os.File
+	f         File
 	numPages  int
 	freed     []PageID
 	pending   []PageID // freed but not yet reusable (deferred mode)
@@ -181,29 +182,46 @@ type FilePager struct {
 	closed    bool
 }
 
-// OpenFilePager opens (or creates) a file-backed pager at path. An existing
-// file must have a size that is a multiple of pageSize.
+// OpenFilePager opens (or creates) a file-backed pager at path on the real
+// filesystem. An existing file must have a size that is a multiple of
+// pageSize.
 func OpenFilePager(path string, pageSize int) (*FilePager, error) {
+	return OpenFilePagerFS(OSFS{}, path, pageSize)
+}
+
+// OpenFilePagerFS is OpenFilePager over an explicit FS. When the call
+// creates the file, the parent directory is fsynced so the new entry
+// survives a crash (a file created but not linked durably can vanish on
+// reboot even after its contents were fsynced).
+func OpenFilePagerFS(fs FS, path string, pageSize int) (*FilePager, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("storage: page size %d must be positive", pageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	_, statErr := fs.Stat(path)
+	existed := statErr == nil
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := fs.Stat(path)
 	if err != nil {
 		f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
-	if st.Size()%int64(pageSize) != 0 {
+	if size%int64(pageSize) != 0 {
 		f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
-		return nil, fmt.Errorf("storage: %s size %d is not a multiple of page size %d", path, st.Size(), pageSize)
+		return nil, fmt.Errorf("storage: %s size %d is not a multiple of page size %d", path, size, pageSize)
+	}
+	if !existed {
+		if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			return nil, err
+		}
 	}
 	return &FilePager{
 		pageSize: pageSize,
 		f:        f,
-		numPages: int(st.Size() / int64(pageSize)),
+		numPages: int(size / int64(pageSize)),
 		isFree:   make(map[PageID]bool),
 	}, nil
 }
@@ -341,7 +359,9 @@ func (p *FilePager) Sync() error {
 	return p.f.Sync()
 }
 
-// Close implements Pager.
+// Close implements Pager. It flushes buffered writes before closing and
+// surfaces the Sync error if the flush fails: silently dropping it would
+// let a caller treat an undurable file as safely closed.
 func (p *FilePager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -349,5 +369,13 @@ func (p *FilePager) Close() error {
 		return nil
 	}
 	p.closed = true
-	return p.f.Close()
+	serr := p.f.Sync()
+	cerr := p.f.Close()
+	if serr != nil {
+		return fmt.Errorf("storage: sync on close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("storage: close: %w", cerr)
+	}
+	return nil
 }

@@ -23,10 +23,23 @@ func (t *Table) InsertBatch(tuples []relation.Tuple) error {
 
 // InsertBatchContext is InsertBatch honouring ctx: cancellation is
 // observed between block rewrites, leaving the table consistent with the
-// runs merged so far.
+// runs merged so far. In WAL mode the whole batch is logged as one record
+// and group-committed before returning; a partial failure logs an abort
+// plus a re-log of the prefix that did apply, so replay reproduces exactly
+// the state the caller observed.
 func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple) error {
+	lsn, err := t.insertBatchLogged(ctx, tuples)
+	if err != nil {
+		return err
+	}
+	return t.walCommit(lsn)
+}
+
+// insertBatchLogged validates, sorts, logs, and applies a batch insert,
+// returning the LSN to commit (see insertLogged for the split's rationale).
+func (t *Table) insertBatchLogged(ctx context.Context, tuples []relation.Tuple) (uint64, error) {
 	if len(tuples) == 0 {
-		return nil
+		return 0, nil
 	}
 	sp := t.opts.Obs.StartOp("insert_batch")
 	defer sp.End()
@@ -34,11 +47,42 @@ func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple)
 	batch := make([]relation.Tuple, len(tuples))
 	for i, tu := range tuples {
 		if err := t.schema.ValidateTuple(tu); err != nil {
-			return err
+			return 0, err
 		}
 		batch[i] = tu.Clone()
 	}
 	t.schema.SortTuples(batch)
+	lsn, err := t.logRecord(recInsertBatch, batch...)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	if err := t.insertBatchApply(ctx, batch, &applied); err != nil {
+		t.logAbort(lsn)
+		if applied > 0 {
+			// Re-log the prefix that did apply. Left buffered (not
+			// committed): the caller saw an error, so no durability was
+			// promised; any later commit carries it, matching memory.
+			if _, rerr := t.logRecord(recInsertBatch, batch[:applied]...); rerr != nil {
+				_ = rerr //avqlint:ignore droppederr best-effort re-log on a path already returning the apply error
+			}
+		}
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// insertBatchApply merges a validated, phi-sorted batch into the table
+// without logging. If applied is non-nil it is advanced as runs land, so a
+// failing caller knows which prefix of batch is actually in the table
+// (the empty-table seed path reports all-or-nothing: a failed bulk load
+// leaves the table unusable anyway).
+func (t *Table) insertBatchApply(ctx context.Context, batch []relation.Tuple, applied *int) error {
+	bump := func(n int) {
+		if applied != nil {
+			*applied += n
+		}
+	}
 	if t.size == 0 {
 		// Empty table: a batch load is a bulk load.
 		refs, err := t.store.BulkLoadContext(ctx, batch)
@@ -60,6 +104,7 @@ func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple)
 			t.histAdd(tu)
 		}
 		t.size = len(batch)
+		bump(len(batch))
 		return nil
 	}
 
@@ -72,9 +117,10 @@ func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple)
 		page, ok := t.homeBlock(batch[start])
 		if !ok {
 			// Cannot happen on a non-empty table, but fail safe.
-			if err := t.InsertContext(ctx, batch[start]); err != nil {
+			if err := t.insertApply(ctx, batch[start]); err != nil {
 				return err
 			}
+			bump(1)
 			start++
 			continue
 		}
@@ -89,6 +135,7 @@ func (t *Table) InsertBatchContext(ctx context.Context, tuples []relation.Tuple)
 		if err := t.mergeIntoBlock(page, batch[start:end]); err != nil {
 			return err
 		}
+		bump(end - start)
 		start = end
 	}
 	return nil
@@ -178,7 +225,18 @@ func (t *Table) BulkLoadStreamContext(ctx context.Context, next func() (relation
 	}
 	sp.Detailf("%d tuples, %d blocks", count, len(refs))
 	t.size = count
-	return nil
+	return t.walCheckpoint()
+}
+
+// walCheckpoint folds the current state into a durable catalog when a WAL
+// is attached. Bulk operations (bulk load, compact) are not logged — their
+// payload is the whole relation — so they reach durability by
+// checkpointing on success instead.
+func (t *Table) walCheckpoint() error {
+	if t.wal == nil {
+		return nil
+	}
+	return t.Checkpoint()
 }
 
 // errInto builds a table-scoped error; a tiny helper keeping the streaming
@@ -195,23 +253,40 @@ func (t *Table) DeleteWhere(preds []Predicate) (int, error) {
 }
 
 // DeleteWhereContext is DeleteWhere honouring ctx: cancellation is
-// observed between deletes, so the removed count stays accurate.
+// observed between deletes, so the removed count stays accurate. In WAL
+// mode the matched set is logged as one record and group-committed once; a
+// partial failure logs an abort plus a re-log of the deleted prefix.
 func (t *Table) DeleteWhereContext(ctx context.Context, preds []Predicate) (int, error) {
 	matches, _, err := t.SelectContext(ctx, preds)
 	if err != nil {
 		return 0, err
 	}
+	if len(matches) == 0 {
+		return 0, nil
+	}
+	lsn, err := t.logRecord(recDeleteBatch, matches...)
+	if err != nil {
+		return 0, err
+	}
 	removed := 0
-	for _, tu := range matches {
-		ok, err := t.DeleteContext(ctx, tu)
+	for i, tu := range matches {
+		ok, err := t.deleteApply(ctx, tu)
 		if err != nil {
+			t.logAbort(lsn)
+			if i > 0 {
+				// matches[:i] were all attempted; deletes of absent tuples
+				// are no-ops at replay, so the prefix re-log is exact.
+				if _, rerr := t.logRecord(recDeleteBatch, matches[:i]...); rerr != nil {
+					_ = rerr //avqlint:ignore droppederr best-effort re-log on a path already returning the apply error
+				}
+			}
 			return removed, err
 		}
 		if ok {
 			removed++
 		}
 	}
-	return removed, nil
+	return removed, t.walCommit(lsn)
 }
 
 // Compact rewrites the relation into freshly packed blocks, reclaiming the
@@ -283,5 +358,5 @@ func (t *Table) CompactContext(ctx context.Context) (before, after int, err erro
 		t.histAdd(tu)
 	}
 	t.size = len(all)
-	return before, t.store.NumBlocks(), nil
+	return before, t.store.NumBlocks(), t.walCheckpoint()
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/simdisk"
+	"repro/internal/storage"
 )
 
 // Option configures a table at Create/Open time. Options compose left to
@@ -103,4 +104,28 @@ func WithObs(reg *obs.Registry) Option {
 // threshold. It only has effect together with WithObs.
 func WithSlowOpThreshold(d time.Duration) Option {
 	return optionFunc(func(o *Options) { o.SlowOpThreshold = d })
+}
+
+// WithDurability selects the crash-durability contract (see Durability).
+// Only meaningful together with WithPath.
+func WithDurability(d Durability) Option {
+	return optionFunc(func(o *Options) { o.Durability = d })
+}
+
+// WithVFS overrides the filesystem backing the page file and WAL; crash
+// tests inject a fault-injecting implementation here. Nil (the default)
+// means the real filesystem.
+func WithVFS(fs storage.FS) Option {
+	return optionFunc(func(o *Options) { o.FS = fs })
+}
+
+// WithWALSegmentSize overrides the WAL segment rotation threshold in bytes.
+func WithWALSegmentSize(n int64) Option {
+	return optionFunc(func(o *Options) { o.WALSegmentSize = n })
+}
+
+// WithWALSyncEveryAppend forces one fsync per logged record instead of
+// group commit — the naive durability baseline benchmarks compare against.
+func WithWALSyncEveryAppend(on bool) Option {
+	return optionFunc(func(o *Options) { o.WALSyncEveryAppend = on })
 }

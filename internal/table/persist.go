@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 
 	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Persistent tables are crash consistent to the last Checkpoint through
@@ -226,6 +228,20 @@ func (t *Table) Checkpoint() error {
 		}
 	}
 	t.catalogChains[slot] = chain
+	fp, isFile := t.pager.(*storage.FilePager)
+	// Durability barrier 1: every data page the new catalog will reference
+	// must be on stable storage before any catalog page naming it is
+	// written. With a single combined flush+sync the device may persist the
+	// catalog ahead of the data it points at — a reordered crash then
+	// recovers a valid catalog of garbage pages.
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	if isFile {
+		if err := fp.Sync(); err != nil {
+			return err
+		}
+	}
 	for i, id := range chain {
 		frame, err := t.pool.Get(id)
 		if err != nil {
@@ -249,10 +265,10 @@ func (t *Table) Checkpoint() error {
 			return err
 		}
 	}
+	// Durability barrier 2: publish the catalog.
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
-	fp, isFile := t.pager.(*storage.FilePager)
 	if isFile {
 		if err := fp.Sync(); err != nil {
 			return err
@@ -262,6 +278,15 @@ func (t *Table) Checkpoint() error {
 	t.generation = gen
 	if isFile {
 		fp.ReleasePending()
+	}
+	// With the catalog published, everything the log holds is folded in:
+	// rotate to a fresh segment at the new generation and delete the old
+	// ones. Ordering matters — rotating first would leave a crash window
+	// with neither the log nor the catalog holding recent mutations.
+	if t.wal != nil {
+		if err := t.wal.Rotate(gen); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -278,6 +303,13 @@ func (t *Table) Close() error {
 		}
 	}
 	t.closed = true
+	if t.wal != nil {
+		werr := t.wal.Close()
+		t.wal = nil
+		if werr != nil {
+			return werr
+		}
+	}
 	if err := t.pool.Close(); err != nil {
 		return err
 	}
@@ -296,10 +328,60 @@ func Open(path string, options ...Option) (*Table, error) {
 	opts := resolveOptions(options)
 	opts.Path = path
 	opts.fillDefaults()
+	if opts.FS == nil {
+		opts.FS = storage.OSFS{}
+	}
+	fsys := opts.FS
+
+	walDirExists := false
+	if names, derr := fsys.ReadDir(walPath(path)); derr == nil {
+		for _, name := range names {
+			if wal.IsSegmentName(name) {
+				walDirExists = true
+				break
+			}
+		}
+	}
+
+	// A torn page file (partial tail page, or too short to hold the two
+	// catalog heads) is corruption, not a usage error: report it as such,
+	// with the offset where the intact prefix ends. Exception: in WAL mode
+	// every page a durable catalog references was fsynced before that
+	// catalog published, so a partial tail page can only be an
+	// unacknowledged torn write from the crash — cut it and recover.
+	if size, serr := fsys.Stat(path); serr == nil && size > 0 {
+		ps := int64(opts.PageSize)
+		if rem := size % ps; rem != 0 {
+			if !walDirExists {
+				return nil, fmt.Errorf("table: open %s: %w: torn page file, %d trailing bytes at offset %d",
+					path, blockstore.ErrCorruptBlock, rem, size-rem)
+			}
+			f, ferr := fsys.OpenFile(path, os.O_RDWR)
+			if ferr != nil {
+				return nil, fmt.Errorf("table: open %s: %w", path, ferr)
+			}
+			terr := f.Truncate(size - rem)
+			if terr == nil {
+				terr = f.Sync()
+			}
+			cerr := f.Close()
+			if terr != nil {
+				return nil, fmt.Errorf("table: open %s: cut torn tail: %w", path, terr)
+			}
+			if cerr != nil {
+				return nil, fmt.Errorf("table: open %s: cut torn tail: %w", path, cerr)
+			}
+			size -= rem
+		}
+		if size < 2*ps {
+			return nil, fmt.Errorf("table: open %s: %w: page file truncated at offset %d (the two catalog heads need %d bytes)",
+				path, blockstore.ErrCorruptBlock, size, 2*ps)
+		}
+	}
 
 	// Bootstrap: read both catalog chains with a raw pager so the schema
 	// and layout are known before the table shell exists.
-	probe, err := storage.OpenFilePager(path, opts.PageSize)
+	probe, err := storage.OpenFilePagerFS(fsys, path, opts.PageSize)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +421,7 @@ func Open(path string, options ...Option) (*Table, error) {
 		if firstErr == nil {
 			firstErr = errors.New("table: no valid catalog")
 		}
-		return nil, fmt.Errorf("table: open %s: %w", path, firstErr)
+		return nil, fmt.Errorf("table: open %s: %w: %w", path, blockstore.ErrCorruptBlock, firstErr)
 	}
 	if closeErr != nil {
 		return nil, closeErr
@@ -416,6 +498,21 @@ func Open(path string, options ...Option) (*Table, error) {
 	// Pages orphaned by a crash are immediately reusable.
 	if fp, ok := t.pager.(*storage.FilePager); ok {
 		fp.ReleasePending()
+	}
+	// Attach and replay the WAL when asked for — or when a log directory
+	// already exists, whatever the options say: ignoring it would silently
+	// drop writes that were acknowledged as durable.
+	if opts.Durability == DurabilityWAL || walDirExists {
+		t.opts.Durability = DurabilityWAL
+		if err := t.attachWALReplay(); err != nil {
+			// Deliberately NOT t.Close(): its checkpoint would publish the
+			// partially replayed state and orphan the log. Tear down raw so
+			// the catalog and log on disk stay exactly as found.
+			t.closed = true
+			t.pool.Close()  //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			t.pager.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			return nil, err
+		}
 	}
 	return t, nil
 }

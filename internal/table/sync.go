@@ -129,31 +129,31 @@ func (s *Sync) Contains(tu relation.Tuple) (bool, error) {
 }
 
 // Insert adds a tuple under an exclusive lock.
+//
+// Deprecated: use InsertContext.
 func (s *Sync) Insert(tu relation.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.Insert(tu)
+	return s.InsertContext(context.Background(), tu)
 }
 
 // InsertBatch adds many tuples under one exclusive lock.
+//
+// Deprecated: use InsertBatchContext.
 func (s *Sync) InsertBatch(tuples []relation.Tuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.InsertBatch(tuples)
+	return s.InsertBatchContext(context.Background(), tuples)
 }
 
 // Delete removes a tuple under an exclusive lock.
+//
+// Deprecated: use DeleteContext.
 func (s *Sync) Delete(tu relation.Tuple) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.Delete(tu)
+	return s.DeleteContext(context.Background(), tu)
 }
 
 // Update replaces a tuple under an exclusive lock.
+//
+// Deprecated: use UpdateContext.
 func (s *Sync) Update(old, new relation.Tuple) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.Update(old, new)
+	return s.UpdateContext(context.Background(), old, new)
 }
 
 // Compact rewrites the layout under an exclusive lock.
@@ -258,33 +258,66 @@ func (s *Sync) ScanContext(ctx context.Context, fn func(relation.Tuple) bool) er
 	return err
 }
 
-// InsertContext adds a tuple under an exclusive lock, honouring ctx.
+// InsertContext adds a tuple under an exclusive lock, honouring ctx. In
+// WAL mode the log append and apply happen under the lock but the fsync
+// (group commit) happens after releasing it, so concurrent writers batch
+// into one sync instead of serializing on the mutation lock.
 func (s *Sync) InsertContext(ctx context.Context, tu relation.Tuple) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.InsertContext(ctx, tu)
+	lsn, err := s.t.insertLogged(ctx, tu)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.t.walCommit(lsn)
 }
 
 // InsertBatchContext adds many tuples under one exclusive lock, honouring
-// ctx between block rewrites.
+// ctx between block rewrites. The group commit happens outside the lock
+// (see InsertContext).
 func (s *Sync) InsertBatchContext(ctx context.Context, tuples []relation.Tuple) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.InsertBatchContext(ctx, tuples)
+	lsn, err := s.t.insertBatchLogged(ctx, tuples)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.t.walCommit(lsn)
 }
 
 // DeleteContext removes a tuple under an exclusive lock, honouring ctx.
+// The group commit happens outside the lock (see InsertContext).
 func (s *Sync) DeleteContext(ctx context.Context, tu relation.Tuple) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.DeleteContext(ctx, tu)
+	lsn, found, err := s.t.deleteLogged(ctx, tu)
+	s.mu.Unlock()
+	if err != nil || !found {
+		return found, err
+	}
+	return true, s.t.walCommit(lsn)
 }
 
 // UpdateContext replaces a tuple under an exclusive lock, honouring ctx.
+// Both halves are logged under one lock hold and committed with a single
+// group commit on the later LSN (LSNs are monotone, so committing the
+// insert's LSN also makes the delete durable).
 func (s *Sync) UpdateContext(ctx context.Context, old, new relation.Tuple) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.t.UpdateContext(ctx, old, new)
+	if err := s.t.schema.ValidateTuple(new); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
+	_, found, err := s.t.deleteLogged(ctx, old)
+	if err != nil || !found {
+		s.mu.Unlock()
+		return false, err
+	}
+	lsn, err := s.t.insertLogged(ctx, new)
+	s.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return true, s.t.walCommit(lsn)
 }
 
 // CompactContext rewrites the layout under an exclusive lock, honouring

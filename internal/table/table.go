@@ -25,6 +25,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/simdisk"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // IndexKind selects the secondary-index access method. The paper's figures
@@ -91,6 +92,23 @@ type Options struct {
 	// SlowOpThreshold, when positive, overrides the registry's slow-op
 	// admission threshold. Only meaningful together with Obs.
 	SlowOpThreshold time.Duration
+	// Durability selects the crash-durability contract for persistent
+	// tables: DurabilityCheckpoint (default, durable at Checkpoint/Close)
+	// or DurabilityWAL (write-ahead logged, durable per mutation). Open
+	// auto-detects an existing log directory regardless of this setting,
+	// so a WAL table reopened without it still replays.
+	Durability Durability
+	// FS overrides the filesystem backing persistent tables and their
+	// WAL; nil means the real filesystem. Crash tests inject
+	// simdisk.NewFaultFS() to kill the I/O model at every syscall.
+	FS storage.FS
+	// WALSegmentSize overrides the log's segment rotation threshold in
+	// bytes (wal.DefaultSegmentSize when zero).
+	WALSegmentSize int64
+	// WALSyncEveryAppend forces one fsync per logged record instead of
+	// group commit — the naive baseline the wal benchmark measures
+	// against. Leave false outside benchmarks.
+	WALSyncEveryAppend bool
 }
 
 // AllAttrs returns 0..n-1, for indexing every attribute of a schema.
@@ -188,6 +206,9 @@ type Table struct {
 	catalogChains [2][]storage.PageID
 	generation    uint64
 	closed        bool
+
+	// wal is the write-ahead log (nil for checkpoint-durability tables).
+	wal *wal.Log
 }
 
 // Create builds an empty table for the schema, configured by functional
@@ -212,6 +233,12 @@ func Create(schema *relation.Schema, opts ...Option) (*Table, error) {
 			return nil, err
 		}
 	}
+	if t.opts.Durability == DurabilityWAL {
+		if err := t.attachWAL(); err != nil {
+			t.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -223,9 +250,12 @@ func newTableShell(schema *relation.Schema, opts Options) (*Table, error) {
 			return nil, fmt.Errorf("table: secondary attribute %d out of range", a)
 		}
 	}
+	if opts.FS == nil {
+		opts.FS = storage.OSFS{}
+	}
 	var pager storage.Pager
 	if opts.Path != "" {
-		fp, err := storage.OpenFilePager(opts.Path, opts.PageSize)
+		fp, err := storage.OpenFilePagerFS(opts.FS, opts.Path, opts.PageSize)
 		if err != nil {
 			return nil, err
 		}
@@ -334,6 +364,17 @@ func (t *Table) Disk() *simdisk.Disk { return t.disk }
 // paper's I/O model assumes.
 func (t *Table) DropCache() error { return t.pool.DropAll() }
 
+// PinnedFrames returns the buffer pool's currently pinned frame count.
+// Crash and leak tests assert it returns to zero after recovery.
+func (t *Table) PinnedFrames() int { return t.pool.PinnedFrames() }
+
+// LiveSnapshots returns the number of unreleased store snapshots.
+func (t *Table) LiveSnapshots() int { return t.store.LiveSnapshots() }
+
+// Generation returns the durable catalog generation (zero for in-memory
+// tables before the first checkpoint).
+func (t *Table) Generation() uint64 { return t.generation }
+
 // IndexNodeCount returns the total node count across the primary and all
 // secondary indexes; experiments convert it to index blocks.
 func (t *Table) IndexNodeCount() int {
@@ -405,7 +446,7 @@ func (t *Table) BulkLoadContext(ctx context.Context, tuples []relation.Tuple) er
 	}
 	endStage()
 	t.size = len(sorted)
-	return nil
+	return t.walCheckpoint()
 }
 
 // registerTuples adds the block's tuples to every secondary index.
@@ -467,13 +508,39 @@ func (t *Table) Insert(tu relation.Tuple) error {
 
 // InsertContext is Insert honouring ctx. A single-block rewrite is not
 // interruptible mid-flight; cancellation is observed before work starts.
+// In WAL mode the insert is group-committed before returning.
 func (t *Table) InsertContext(ctx context.Context, tu relation.Tuple) error {
-	if err := ctx.Err(); err != nil {
+	lsn, err := t.insertLogged(ctx, tu)
+	if err != nil {
 		return err
+	}
+	return t.walCommit(lsn)
+}
+
+// insertLogged validates, logs, and applies one insert, returning the LSN
+// to commit. It does not wait for log durability: the Sync wrapper calls
+// it under its exclusive lock and commits after releasing it.
+func (t *Table) insertLogged(ctx context.Context, tu relation.Tuple) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	if err := t.schema.ValidateTuple(tu); err != nil {
-		return err
+		return 0, err
 	}
+	lsn, err := t.logRecord(recInsert, tu)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.insertApply(ctx, tu); err != nil {
+		t.logAbort(lsn)
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// insertApply is the unlogged insert body: it mutates blocks and indexes
+// but never touches the WAL, so replay and batch loading reuse it.
+func (t *Table) insertApply(ctx context.Context, tu relation.Tuple) error {
 	page, ok := t.homeBlock(tu)
 	if !ok {
 		// Empty table: seed the store.
@@ -514,11 +581,40 @@ func (t *Table) Delete(tu relation.Tuple) (bool, error) {
 
 // DeleteContext is Delete honouring ctx. A single-block rewrite is not
 // interruptible mid-flight; cancellation is observed before work starts.
+// In WAL mode the delete is group-committed before returning.
 func (t *Table) DeleteContext(ctx context.Context, tu relation.Tuple) (bool, error) {
+	lsn, found, err := t.deleteLogged(ctx, tu)
+	if err != nil || !found {
+		return found, err
+	}
+	return true, t.walCommit(lsn)
+}
+
+// deleteLogged validates, logs, and applies one delete, returning the LSN
+// to commit. A not-found delete is still logged (replay treats a missing
+// tuple as a no-op), keeping the log-before-mutate ordering unconditional.
+func (t *Table) deleteLogged(ctx context.Context, tu relation.Tuple) (uint64, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return false, err
+		return 0, false, err
 	}
 	if err := t.schema.ValidateTuple(tu); err != nil {
+		return 0, false, err
+	}
+	lsn, err := t.logRecord(recDelete, tu)
+	if err != nil {
+		return 0, false, err
+	}
+	found, err := t.deleteApply(ctx, tu)
+	if err != nil {
+		t.logAbort(lsn)
+		return 0, false, err
+	}
+	return lsn, found, nil
+}
+
+// deleteApply is the unlogged delete body (see insertApply).
+func (t *Table) deleteApply(ctx context.Context, tu relation.Tuple) (bool, error) {
+	if err := ctx.Err(); err != nil {
 		return false, err
 	}
 	page, found, err := t.findTupleBlock(tu)

@@ -96,3 +96,29 @@ if [ "$fail" -ne 0 ]; then
 fi
 
 echo "benchgate: PASS (load ${new_load}ms <= ${base_load}ms+${TOLERANCE_PCT}%, count ${new_count}ms <= ${base_count}ms+${TOLERANCE_PCT}%)"
+
+# -- group commit gate -------------------------------------------------------
+# The WAL experiment carries its own absolute gate (group commit must beat
+# naive per-append fsync by >= 5x on the simulated disk); the speedup is a
+# ratio on one host, so no cross-host baseline comparison is needed.
+if [ -f BENCH_wal.json ]; then
+    cp BENCH_wal.json "$tmpdir/wal-baseline.json"
+fi
+
+echo "== benchgate: running avqbench -exp wal"
+go run ./cmd/avqbench -exp wal
+
+wal_pass=$(jget BENCH_wal.json pass)
+wal_speedup=$(jget BENCH_wal.json speedup)
+wal_min=$(jget BENCH_wal.json min_speedup)
+
+if [ -f "$tmpdir/wal-baseline.json" ]; then
+    cp "$tmpdir/wal-baseline.json" BENCH_wal.json
+fi
+
+if [ "$wal_pass" != "true" ]; then
+    echo "benchgate: group commit gate failed: ${wal_speedup}x < required ${wal_min}x" >&2
+    exit 1
+fi
+
+echo "benchgate: PASS (group commit ${wal_speedup}x >= ${wal_min}x naive fsync-per-append)"

@@ -32,9 +32,12 @@ go run ./cmd/avqlint -baseline scripts/avqlint-baseline.json ./...
 echo "== go test"
 go test ./...
 
+echo "== crash matrix (kill-at-every-syscall recovery proof)"
+go test ./internal/wal -run 'TestKillEverySyscall|TestKillDuringRecovery' -count=1
+
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/buffer ./internal/table ./internal/simdisk \
     ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
-    ./internal/core ./internal/analysis
+    ./internal/core ./internal/analysis ./internal/wal
 
 echo "check.sh: all gates passed"
