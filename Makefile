@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal benchgate crash
+.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal bench-shard benchgate crash
 
 check:
 	sh scripts/check.sh
@@ -17,7 +17,8 @@ test:
 race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
 		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
-		./internal/core ./internal/analysis ./internal/wal
+		./internal/core ./internal/analysis ./internal/wal \
+	./internal/backend ./internal/shard
 
 # The kill-at-every-syscall fault-injection matrix: crash at each I/O
 # point, recover, and prove the table replays every acknowledged write.
@@ -38,6 +39,9 @@ bench-obs:
 
 bench-wal:
 	$(GO) run ./cmd/avqbench -exp wal
+
+bench-shard:
+	$(GO) run ./cmd/avqbench -exp shard
 
 lint:
 	$(GO) vet ./...

@@ -11,16 +11,19 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/storage"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, shard, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -109,7 +112,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if err := r.WriteText(out); err != nil {
 				return err
 			}
-			return writePipelineJSON(r)
+			return writeBenchJSON("BENCH_pipeline.json", r)
 		case "pruning":
 			r, err := experiments.RunPruning(experiments.PruningConfig{
 				Tuples: tuples, PageSize: pageSize, Reps: reps, Seed: seed,
@@ -120,7 +123,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if err := r.WriteText(out); err != nil {
 				return err
 			}
-			return writePruningJSON(r)
+			return writeBenchJSON("BENCH_pruning.json", r)
 		case "obs":
 			r, err := experiments.RunObs(experiments.ObsConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
@@ -131,7 +134,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if err := r.WriteText(out); err != nil {
 				return err
 			}
-			return writeObsJSON(r)
+			return writeBenchJSON("BENCH_obs.json", r)
 		case "decode":
 			r, err := experiments.RunDecode(experiments.DecodeConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
@@ -142,7 +145,18 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if err := r.WriteText(out); err != nil {
 				return err
 			}
-			return writeDecodeJSON(r)
+			return writeBenchJSON("BENCH_decode.json", r)
+		case "shard":
+			r, err := experiments.RunShard(experiments.ShardConfig{
+				Tuples: tuples, PageSize: pageSize, Rounds: reps, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeBenchJSON("BENCH_shard.json", r)
 		case "wal":
 			r, err := experiments.RunWAL(experiments.WALConfig{
 				Tuples: tuples, PageSize: pageSize, Writers: parallel, Seed: seed,
@@ -153,7 +167,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if err := r.WriteText(out); err != nil {
 				return err
 			}
-			return writeWALJSON(r)
+			return writeBenchJSON("BENCH_wal.json", r)
 		case "cpusweep":
 			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
@@ -170,7 +184,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal", "shard"} {
 		if i > 0 {
 			sep()
 		}
@@ -181,79 +195,15 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	return nil
 }
 
-// writePruningJSON records the φ-fence pruning comparison as
-// BENCH_pruning.json in the working directory, for CI trend tracking.
-func writePruningJSON(r *experiments.PruningResult) error {
-	f, err := os.Create("BENCH_pruning.json")
-	if err != nil {
+// writeBenchJSON records an experiment result as a JSON file in the
+// working directory (BENCH_pruning.json, BENCH_shard.json, ...) for CI
+// trend tracking and the scripts/benchgate.sh gates. The write goes
+// through the storage layer's temp+rename path so an interrupted bench
+// run can never leave a torn baseline in the tree.
+func writeBenchJSON(name string, r interface{ WriteJSON(w io.Writer) error }) error {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
 		return err
 	}
-	werr := r.WriteJSON(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
-}
-
-// writeObsJSON records the instrumentation-overhead measurement as
-// BENCH_obs.json in the working directory; the acceptance gate reads its
-// pass field.
-func writeObsJSON(r *experiments.ObsResult) error {
-	f, err := os.Create("BENCH_obs.json")
-	if err != nil {
-		return err
-	}
-	werr := r.WriteJSON(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
-}
-
-// writeDecodeJSON records the decode-kernel measurement as
-// BENCH_decode.json in the working directory; scripts/benchgate.sh reads
-// its pass field and compares the macro workload against the baseline.
-func writeDecodeJSON(r *experiments.DecodeResult) error {
-	f, err := os.Create("BENCH_decode.json")
-	if err != nil {
-		return err
-	}
-	werr := r.WriteJSON(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
-}
-
-// writeWALJSON records the group-commit measurement as BENCH_wal.json in
-// the working directory; scripts/benchgate.sh reads its pass field.
-func writeWALJSON(r *experiments.WALResult) error {
-	f, err := os.Create("BENCH_wal.json")
-	if err != nil {
-		return err
-	}
-	werr := r.WriteJSON(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
-}
-
-// writePipelineJSON records the serial-vs-parallel throughput comparison
-// as BENCH_pipeline.json in the working directory, for CI trend tracking.
-func writePipelineJSON(r *experiments.PipelineResult) error {
-	f, err := os.Create("BENCH_pipeline.json")
-	if err != nil {
-		return err
-	}
-	werr := r.WriteJSON(f)
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
+	return storage.WriteFileAtomic(storage.OSFS{}, name, buf.Bytes())
 }

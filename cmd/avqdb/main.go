@@ -17,6 +17,11 @@
 //	avqdb verify  -db file
 //	avqdb wal     -db file
 //	avqdb serve   -db file -listen :6060 [-slowms 50]
+//	avqdb shard status -db dir
+//
+// shard status reads the shard catalog under -db (a sharded database
+// directory), reopens every shard, and prints the φ-range layout with
+// live per-shard sizes and the cross-layer invariant check.
 //
 // stats -live opens the table instrumented, replays a representative
 // workload, and prints the live metrics registry. serve mounts the opt-in
@@ -37,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relfile"
+	"repro/internal/shard"
 	"repro/internal/table"
 	"repro/internal/wal"
 )
@@ -47,6 +53,14 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	// Commands with subcommands (avqdb shard status ...) take the verb as
+	// the next positional argument, flags after it.
+	sub := ""
+	flagArgs := os.Args[2:]
+	if cmd == "shard" && len(os.Args) > 2 && !strings.HasPrefix(os.Args[2], "-") {
+		sub = os.Args[2]
+		flagArgs = os.Args[3:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		db        = fs.String("db", "", "table file (required)")
@@ -65,13 +79,14 @@ func main() {
 		listen    = fs.String("listen", "localhost:6060", "serve: debug endpoint listen address")
 		slowMs    = fs.Int("slowms", 50, "serve: slow-op log threshold in milliseconds")
 	)
-	fs.Parse(os.Args[2:]) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
+	fs.Parse(flagArgs) //avqlint:ignore droppederr ExitOnError FlagSet exits on parse failure
 	if *db == "" {
 		fmt.Fprintln(os.Stderr, "avqdb: -db is required")
 		os.Exit(2)
 	}
 	err := run(cmd, args{
-		db: *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
+		sub: sub,
+		db:  *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
 		hash: *useHash, in: *in, tuple: *tupleStr,
 		attr: *attr, lo: *lo, hi: *hi, limit: *limit, aggAttr: *aggAttr,
 		live: *live, listen: *listen, slowMs: *slowMs,
@@ -83,6 +98,7 @@ func main() {
 }
 
 type args struct {
+	sub                                 string
 	db, schema, codec, index, in, tuple string
 	hash, live                          bool
 	attr, aggAttr                       int
@@ -92,7 +108,7 @@ type args struct {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|wal|serve -db FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|wal|serve|shard -db FILE [flags]")
 }
 
 func run(cmd string, a args) error {
@@ -121,6 +137,8 @@ func run(cmd string, a args) error {
 		return walInspect(a)
 	case "serve":
 		return serve(a)
+	case "shard":
+		return shardStatus(a)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -495,5 +513,38 @@ func verify(a args) error {
 		return err
 	}
 	fmt.Printf("%s: OK — %d tuples, %d blocks, all invariants hold\n", a.db, tb.Len(), tb.NumBlocks())
+	return nil
+}
+
+// shardStatus prints the shard catalog under a.db — the φ-range split
+// points, backend kind, and epoch — then reopens the shards for live
+// tuple/block counts and runs the cross-layer invariant check.
+func shardStatus(a args) error {
+	if a.sub != "" && a.sub != "status" {
+		return fmt.Errorf("unknown shard subcommand %q (want status)", a.sub)
+	}
+	cat, err := shard.ReadCatalogDir(nil, a.db)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard catalog: kind=%s epoch=%d domain=%d shards=%d\n",
+		cat.Kind, cat.Epoch, cat.Domain, cat.NumShards())
+	db, err := shard.Open(shard.Config{Kind: cat.Kind, Dir: a.db})
+	if err != nil {
+		return fmt.Errorf("open shards: %w", err)
+	}
+	defer db.Close()
+	live := db.Catalog()
+	fmt.Printf("%-12s %14s %10s %10s\n", "shard", "phi-range", "tuples", "blocks")
+	for i := 0; i < live.NumShards(); i++ {
+		lo, hi := live.RangeOf(i)
+		sh := db.Shard(i)
+		fmt.Printf("shard-%04d   [%5d,%5d] %10d %10d\n", i, lo, hi, sh.Len(), sh.Table().NumBlocks())
+	}
+	fmt.Printf("total: %d tuples in %d blocks\n", db.Len(), db.NumBlocks())
+	if err := db.Check(); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	fmt.Println("check: ok")
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/relfile"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -68,18 +69,13 @@ func run(out string, tuples, attrs int, avg uint64, variance string, skew bool, 
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	switch format {
 	case "rel":
-		if err := relfile.WritePlain(f, schema, data); err != nil {
+		if err := relfile.SavePlain(storage.OSFS{}, out, schema, data); err != nil {
 			return err
 		}
 	case "csv":
-		if err := relfile.WriteCSV(f, schema, data); err != nil {
+		if err := relfile.SaveCSV(storage.OSFS{}, out, schema, data); err != nil {
 			return err
 		}
 	default:
@@ -87,5 +83,5 @@ func run(out string, tuples, attrs int, avg uint64, variance string, skew bool, 
 	}
 	fmt.Printf("wrote %d tuples over %d attributes (%d-byte rows) to %s\n",
 		len(data), schema.NumAttrs(), schema.RowSize(), out)
-	return f.Sync()
+	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relfile"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/table"
 )
@@ -154,6 +155,11 @@ func decompress(in, out string) error {
 }
 
 func inspect(in string) error {
+	// A directory is a sharded database: describe its catalog instead of
+	// a single relation file.
+	if st, err := os.Stat(in); err == nil && st.IsDir() {
+		return inspectShardDir(in)
+	}
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -178,6 +184,29 @@ func inspect(in string) error {
 	}
 	printSchema(schema)
 	fmt.Printf("format: plain, %d tuples, %d bytes per row\n", len(tuples), schema.RowSize())
+	return nil
+}
+
+// inspectShardDir prints the shard catalog view for a sharded database
+// directory: backend kind, catalog epoch, and each shard's φ-range with
+// the tuple and block counts recorded at the last checkpoint.
+func inspectShardDir(dir string) error {
+	cat, err := shard.ReadCatalogDir(nil, dir)
+	if err != nil {
+		return fmt.Errorf("%s: not a relation file or sharded database: %w", dir, err)
+	}
+	fmt.Printf("format: sharded database (kind=%s), catalog epoch %d\n", cat.Kind, cat.Epoch)
+	fmt.Printf("phi domain: %d values over %d shard(s)\n", cat.Domain, cat.NumShards())
+	var tuples, blocks uint64
+	fmt.Printf("%-12s %14s %10s %10s\n", "shard", "phi-range", "tuples", "blocks")
+	for i := 0; i < cat.NumShards(); i++ {
+		lo, hi := cat.RangeOf(i)
+		info := cat.Shards[i]
+		fmt.Printf("shard-%04d   [%5d,%5d] %10d %10d\n", i, lo, hi, info.Tuples, info.Blocks)
+		tuples += info.Tuples
+		blocks += info.Blocks
+	}
+	fmt.Printf("at last checkpoint: %d tuples in %d blocks\n", tuples, blocks)
 	return nil
 }
 

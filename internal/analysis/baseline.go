@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/storage"
 )
 
 // This file is the machine-readable side of the linter: findings as JSON
@@ -119,7 +121,7 @@ func (b *Baseline) Write(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return storage.WriteFileAtomic(storage.OSFS{}, path, append(data, '\n'))
 }
 
 // Filter splits findings into those the baseline accepts and fresh ones,

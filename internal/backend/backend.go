@@ -1,0 +1,165 @@
+// Package backend abstracts where coded blocks physically live. The block
+// store and shard layers address storage through the Store interface — a
+// flat, keyed blob space with atomic writes — so the same table runs over
+// process memory, a local filesystem, or an S3-style object store without
+// either layer knowing which. The interface follows the dittofs
+// pkg/blocks/store exemplar: whole-blob writes, ranged reads, prefix
+// deletes, and sorted prefix listing, all context-aware.
+//
+// Three implementations are provided:
+//
+//   - Memory: a map, for simulations and the memory shard backend.
+//   - Filesystem: one file per key under a root directory, written with
+//     storage.WriteFileAtomic (temp + fsync + rename + parent-dir fsync).
+//   - Object: an S3-style flat keyspace simulated over a storage.FS, so
+//     simdisk.FaultFS can fault-inject "the object service" the same way
+//     it faults a disk.
+//
+// All implementations share one durability contract: WriteBlock is atomic
+// and durable on return — a crash observes the old blob or the new one,
+// never a torn mix — which is exactly the property the two-barrier
+// checkpoint protocol needs from its page writes.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind names a backend implementation, recorded in shard catalogs so a
+// reopened database reattaches to the same storage class.
+type Kind uint8
+
+const (
+	// KindMemory stores blobs in process memory; contents do not survive
+	// the process.
+	KindMemory Kind = iota
+	// KindFilesystem stores one file per key under a root directory.
+	KindFilesystem
+	// KindObject stores blobs in a flat S3-style keyspace simulated over a
+	// storage.FS.
+	KindObject
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindMemory:
+		return "memory"
+	case KindFilesystem:
+		return "filesystem"
+	case KindObject:
+		return "object"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k names a known backend.
+func (k Kind) Valid() bool { return k <= KindObject }
+
+// ParseKind parses a kind name as printed by String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "memory":
+		return KindMemory, nil
+	case "filesystem":
+		return KindFilesystem, nil
+	case "object":
+		return KindObject, nil
+	default:
+		return 0, fmt.Errorf("backend: unknown kind %q", s)
+	}
+}
+
+// Errors returned by Store implementations.
+var (
+	// ErrNotFound reports a read or delete of a key that does not exist.
+	ErrNotFound = errors.New("backend: block not found")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("backend: store is closed")
+	// ErrBadKey reports a syntactically invalid key.
+	ErrBadKey = errors.New("backend: bad key")
+	// ErrBadRange reports a ReadBlockRange outside the blob.
+	ErrBadRange = errors.New("backend: range out of bounds")
+)
+
+// Store is a flat, keyed blob space. Keys are slash-separated paths (see
+// ValidateKey); values are opaque byte blobs written whole and read whole
+// or by range. Implementations are safe for concurrent use.
+type Store interface {
+	// Kind names the implementation.
+	Kind() Kind
+	// WriteBlock atomically creates or replaces the blob at key. On
+	// return the new contents are durable (for durable kinds): a crash
+	// observes the old blob or the new one, never a mix.
+	WriteBlock(ctx context.Context, key string, data []byte) error
+	// ReadBlock returns a copy of the blob at key, or ErrNotFound.
+	ReadBlock(ctx context.Context, key string) ([]byte, error)
+	// ReadBlockRange returns length bytes starting at off. Reading past
+	// the end of the blob fails with ErrBadRange; a negative off or
+	// length is ErrBadRange too.
+	ReadBlockRange(ctx context.Context, key string, off, length int64) ([]byte, error)
+	// DeleteBlock removes the blob at key, or returns ErrNotFound.
+	DeleteBlock(ctx context.Context, key string) error
+	// DeleteByPrefix removes every blob whose key starts with prefix and
+	// returns how many it removed (zero is not an error).
+	DeleteByPrefix(ctx context.Context, prefix string) (int, error)
+	// List returns the sorted keys starting with prefix. An empty prefix
+	// lists everything.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Close releases resources. Further operations return ErrClosed.
+	Close() error
+}
+
+// ValidateKey checks the key grammar shared by every backend: non-empty,
+// slash-separated segments of [A-Za-z0-9._-], no empty segments, and no
+// "." or ".." segments (keys must not escape the store's root when mapped
+// onto a filesystem).
+func ValidateKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty", ErrBadKey)
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if seg == "" {
+			return fmt.Errorf("%w: %q has an empty segment", ErrBadKey, key)
+		}
+		if seg == "." || seg == ".." {
+			return fmt.Errorf("%w: %q contains %q", ErrBadKey, key, seg)
+		}
+		for _, r := range seg {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '.', r == '_', r == '-':
+			default:
+				return fmt.Errorf("%w: %q contains %q", ErrBadKey, key, r)
+			}
+		}
+	}
+	return nil
+}
+
+// validPrefix checks a List/DeleteByPrefix prefix: like a key but it may
+// be empty and may end mid-segment (including a trailing slash).
+func validPrefix(prefix string) error {
+	if prefix == "" {
+		return nil
+	}
+	trimmed := strings.TrimSuffix(prefix, "/")
+	if trimmed == "" {
+		return fmt.Errorf("%w: prefix %q", ErrBadKey, prefix)
+	}
+	return ValidateKey(trimmed)
+}
+
+// rangeOf bounds a ReadBlockRange request against a blob of size n.
+func rangeOf(key string, data []byte, off, length int64) ([]byte, error) {
+	if off < 0 || length < 0 || off+length > int64(len(data)) {
+		return nil, fmt.Errorf("%w: [%d, %d) of %q (%d bytes)", ErrBadRange, off, off+length, key, len(data))
+	}
+	out := make([]byte, length)
+	copy(out, data[off:off+length])
+	return out, nil
+}

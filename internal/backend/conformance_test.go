@@ -1,0 +1,320 @@
+package backend_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/simdisk"
+)
+
+// fixture opens one Store implementation for the shared conformance
+// harness. reopen (nil when the kind cannot reattach) builds a second
+// store over the same underlying state.
+type fixture struct {
+	name   string
+	open   func(t *testing.T) (store backend.Store, reopen func() backend.Store)
+	kinded backend.Kind
+}
+
+func fixtures() []fixture {
+	return []fixture{
+		{
+			name:   "memory",
+			kinded: backend.KindMemory,
+			open: func(t *testing.T) (backend.Store, func() backend.Store) {
+				return backend.NewMemoryStore(), nil
+			},
+		},
+		{
+			name:   "filesystem",
+			kinded: backend.KindFilesystem,
+			open: func(t *testing.T) (backend.Store, func() backend.Store) {
+				dir := filepath.Join(t.TempDir(), "blocks")
+				s, err := backend.NewFilesystemStore(nil, dir)
+				if err != nil {
+					t.Fatalf("NewFilesystemStore: %v", err)
+				}
+				return s, func() backend.Store {
+					s2, err := backend.NewFilesystemStore(nil, dir)
+					if err != nil {
+						t.Fatalf("reopen: %v", err)
+					}
+					return s2
+				}
+			},
+		},
+		{
+			name:   "object",
+			kinded: backend.KindObject,
+			open: func(t *testing.T) (backend.Store, func() backend.Store) {
+				dir := filepath.Join(t.TempDir(), "bucket")
+				s, err := backend.NewObjectStore(nil, dir)
+				if err != nil {
+					t.Fatalf("NewObjectStore: %v", err)
+				}
+				return s, func() backend.Store {
+					s2, err := backend.NewObjectStore(nil, dir)
+					if err != nil {
+						t.Fatalf("reopen: %v", err)
+					}
+					return s2
+				}
+			},
+		},
+	}
+}
+
+// TestConformance runs the one shared semantics suite against every
+// implementation.
+func TestConformance(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			s, reopen := fx.open(t)
+			defer s.Close()
+			ctx := context.Background()
+
+			if s.Kind() != fx.kinded {
+				t.Fatalf("Kind() = %v, want %v", s.Kind(), fx.kinded)
+			}
+
+			// Missing keys.
+			if _, err := s.ReadBlock(ctx, "nope"); !errors.Is(err, backend.ErrNotFound) {
+				t.Fatalf("ReadBlock(missing) = %v, want ErrNotFound", err)
+			}
+			if err := s.DeleteBlock(ctx, "nope"); !errors.Is(err, backend.ErrNotFound) {
+				t.Fatalf("DeleteBlock(missing) = %v, want ErrNotFound", err)
+			}
+			if n, err := s.DeleteByPrefix(ctx, "nope"); err != nil || n != 0 {
+				t.Fatalf("DeleteByPrefix(missing) = %d, %v; want 0, nil", n, err)
+			}
+
+			// Bad keys.
+			for _, bad := range []string{"", "/lead", "trail/", "a//b", "..", "a/../b", "sp ace", "per%cent"} {
+				if err := s.WriteBlock(ctx, bad, []byte("x")); !errors.Is(err, backend.ErrBadKey) {
+					t.Fatalf("WriteBlock(%q) = %v, want ErrBadKey", bad, err)
+				}
+			}
+
+			// Write, read back, overwrite.
+			blob := []byte("hello block world")
+			if err := s.WriteBlock(ctx, "t/blk-1", blob); err != nil {
+				t.Fatalf("WriteBlock: %v", err)
+			}
+			got, err := s.ReadBlock(ctx, "t/blk-1")
+			if err != nil || !reflect.DeepEqual(got, blob) {
+				t.Fatalf("ReadBlock = %q, %v; want %q", got, err, blob)
+			}
+			blob2 := []byte("replaced")
+			if err := s.WriteBlock(ctx, "t/blk-1", blob2); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+			if got, _ := s.ReadBlock(ctx, "t/blk-1"); !reflect.DeepEqual(got, blob2) {
+				t.Fatalf("after overwrite = %q, want %q", got, blob2)
+			}
+
+			// Ranged reads.
+			if got, err := s.ReadBlockRange(ctx, "t/blk-1", 2, 4); err != nil || string(got) != "plac" {
+				t.Fatalf("ReadBlockRange = %q, %v; want \"plac\"", got, err)
+			}
+			if got, err := s.ReadBlockRange(ctx, "t/blk-1", 0, 0); err != nil || len(got) != 0 {
+				t.Fatalf("ReadBlockRange(0,0) = %q, %v", got, err)
+			}
+			if got, err := s.ReadBlockRange(ctx, "t/blk-1", 8, 0); err != nil || len(got) != 0 {
+				t.Fatalf("ReadBlockRange(size,0) = %q, %v", got, err)
+			}
+			for _, r := range [][2]int64{{0, 9}, {9, 1}, {-1, 2}, {1, -1}} {
+				if _, err := s.ReadBlockRange(ctx, "t/blk-1", r[0], r[1]); !errors.Is(err, backend.ErrBadRange) {
+					t.Fatalf("ReadBlockRange(%d,%d) = %v, want ErrBadRange", r[0], r[1], err)
+				}
+			}
+			if _, err := s.ReadBlockRange(ctx, "missing", 0, 1); !errors.Is(err, backend.ErrNotFound) {
+				t.Fatalf("ReadBlockRange(missing) = %v, want ErrNotFound", err)
+			}
+
+			// List semantics: sorted, prefix is a plain string prefix.
+			for _, k := range []string{"t/blk-2", "t/blk-10", "u/blk-1", "t2"} {
+				if err := s.WriteBlock(ctx, k, []byte(k)); err != nil {
+					t.Fatalf("WriteBlock(%q): %v", k, err)
+				}
+			}
+			keys, err := s.List(ctx, "t/")
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			want := []string{"t/blk-1", "t/blk-10", "t/blk-2"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("List(t/) = %v, want %v", keys, want)
+			}
+			keys, _ = s.List(ctx, "t")
+			want = []string{"t/blk-1", "t/blk-10", "t/blk-2", "t2"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("List(t) = %v, want %v", keys, want)
+			}
+			all, _ := s.List(ctx, "")
+			if len(all) != 5 {
+				t.Fatalf("List(\"\") = %v, want 5 keys", all)
+			}
+
+			// Delete one, delete by prefix.
+			if err := s.DeleteBlock(ctx, "t/blk-2"); err != nil {
+				t.Fatalf("DeleteBlock: %v", err)
+			}
+			if _, err := s.ReadBlock(ctx, "t/blk-2"); !errors.Is(err, backend.ErrNotFound) {
+				t.Fatalf("read after delete = %v, want ErrNotFound", err)
+			}
+			n, err := s.DeleteByPrefix(ctx, "t/")
+			if err != nil || n != 2 {
+				t.Fatalf("DeleteByPrefix(t/) = %d, %v; want 2", n, err)
+			}
+			keys, _ = s.List(ctx, "")
+			want = []string{"t2", "u/blk-1"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("after prefix delete = %v, want %v", keys, want)
+			}
+
+			// Reopen sees the same state (durable kinds only).
+			if reopen != nil {
+				s2 := reopen()
+				keys, err := s2.List(ctx, "")
+				if err != nil || !reflect.DeepEqual(keys, want) {
+					t.Fatalf("reopen List = %v, %v; want %v", keys, err, want)
+				}
+				if got, err := s2.ReadBlock(ctx, "u/blk-1"); err != nil || string(got) != "u/blk-1" {
+					t.Fatalf("reopen ReadBlock = %q, %v", got, err)
+				}
+				if err := s2.Close(); err != nil {
+					t.Fatalf("close reopened: %v", err)
+				}
+			}
+
+			// Cancelled contexts stop every operation.
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := s.WriteBlock(cctx, "c/x", nil); !errors.Is(err, context.Canceled) {
+				t.Fatalf("WriteBlock(cancelled) = %v", err)
+			}
+			if _, err := s.List(cctx, ""); !errors.Is(err, context.Canceled) {
+				t.Fatalf("List(cancelled) = %v", err)
+			}
+
+			// Closed stores fail everything.
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := s.WriteBlock(ctx, "t/x", nil); !errors.Is(err, backend.ErrClosed) {
+				t.Fatalf("WriteBlock(closed) = %v, want ErrClosed", err)
+			}
+			if _, err := s.List(ctx, ""); !errors.Is(err, backend.ErrClosed) {
+				t.Fatalf("List(closed) = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// faultFixtures are the durable kinds opened over a FaultFS, for the
+// crash-mid-write matrix.
+func faultFixtures(t *testing.T, fs *simdisk.FaultFS) map[string]func() backend.Store {
+	return map[string]func() backend.Store{
+		"filesystem": func() backend.Store {
+			s, err := backend.NewFilesystemStore(fs, "blocks")
+			if err != nil {
+				t.Fatalf("NewFilesystemStore: %v", err)
+			}
+			return s
+		},
+		"object": func() backend.Store {
+			s, err := backend.NewObjectStore(fs, "bucket")
+			if err != nil {
+				t.Fatalf("NewObjectStore: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+// TestCrashMidWriteAtomicity kills the filesystem at every syscall tick
+// inside an overwriting WriteBlock, in strict and torn modes, and asserts
+// the recovered store holds exactly the old or the new blob — never a
+// torn mix, never a temp-file key.
+func TestCrashMidWriteAtomicity(t *testing.T) {
+	const key = "t/blk-0"
+	oldBlob := []byte("old-contents-old-contents-old-contents")
+	newBlob := []byte("NEW!NEW!NEW!")
+	for _, mode := range []string{"strict", "torn"} {
+		for _, kind := range []string{"filesystem", "object"} {
+			t.Run(mode+"/"+kind, func(t *testing.T) {
+				for n := int64(1); ; n++ {
+					fs := simdisk.NewFaultFS()
+					open := faultFixtures(t, fs)[kind]
+					ctx := context.Background()
+
+					s := open()
+					if err := s.WriteBlock(ctx, key, oldBlob); err != nil {
+						t.Fatalf("seed write: %v", err)
+					}
+					fs.CrashAt(n)
+					err := s.WriteBlock(ctx, key, newBlob)
+					crashed := errors.Is(err, simdisk.ErrCrashed)
+					if err != nil && !crashed {
+						t.Fatalf("crash %d: unexpected error %v", n, err)
+					}
+					var rng *rand.Rand
+					if mode == "torn" {
+						rng = rand.New(rand.NewSource(n))
+					}
+					fs.Recover(rng)
+
+					s2 := open()
+					got, rerr := s2.ReadBlock(ctx, key)
+					if rerr != nil {
+						t.Fatalf("crash %d: recovered read: %v", n, rerr)
+					}
+					if !reflect.DeepEqual(got, oldBlob) && !reflect.DeepEqual(got, newBlob) {
+						t.Fatalf("crash %d (%s): recovered %q, want old or new\n%s", n, mode, got, fs.DumpTree())
+					}
+					if crashed && err == nil {
+						t.Fatal("unreachable")
+					}
+					keys, lerr := s2.List(ctx, "")
+					if lerr != nil {
+						t.Fatalf("crash %d: list: %v", n, lerr)
+					}
+					if !reflect.DeepEqual(keys, []string{key}) {
+						t.Fatalf("crash %d: recovered keys %v, want [%s]", n, keys, key)
+					}
+					if !crashed {
+						// The write ran to completion: it must be the new blob,
+						// and the matrix is exhausted.
+						if !reflect.DeepEqual(got, newBlob) {
+							t.Fatalf("completed write recovered %q, want %q", got, newBlob)
+						}
+						break
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKindRoundTrip pins the Kind name set: catalogs persist these.
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []backend.Kind{backend.KindMemory, backend.KindFilesystem, backend.KindObject} {
+		got, err := backend.ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := backend.ParseKind("tape"); err == nil {
+		t.Fatal("ParseKind(tape) accepted")
+	}
+	if backend.Kind(9).Valid() {
+		t.Fatal("Kind(9) claims valid")
+	}
+	_ = fmt.Sprintf("%v", backend.Kind(9))
+}

@@ -1,0 +1,227 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// ObjectStore simulates an S3-style object service over a storage.FS: a
+// flat keyspace where PUT is atomic, GET supports byte ranges, and
+// listing is a sorted prefix scan. Every object lives as one file in a
+// single bucket directory, its name the URL-escaped key ('/' becomes
+// %2F), so the hierarchy of the key space never touches the filesystem —
+// exactly how a real object store flattens keys. Running it over
+// simdisk.FaultFS fault-injects "the object service" with the same
+// syscall-tick model the disk gets.
+type ObjectStore struct {
+	fs     storage.FS
+	bucket string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewObjectStore opens an object store whose bucket directory is dir on
+// fsys (the real filesystem when fsys is nil).
+func NewObjectStore(fsys storage.FS, dir string) (*ObjectStore, error) {
+	if fsys == nil {
+		fsys = storage.OSFS{}
+	}
+	if dir == "" {
+		return nil, errors.New("backend: object store needs a bucket directory")
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("backend: create bucket %s: %w", dir, err)
+	}
+	return &ObjectStore{fs: fsys, bucket: dir}, nil
+}
+
+// Kind implements Store.
+func (s *ObjectStore) Kind() Kind { return KindObject }
+
+func (s *ObjectStore) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// pathOf maps a key to its object file: the escaped key inside the bucket.
+func (s *ObjectStore) pathOf(key string) string {
+	return filepath.Join(s.bucket, url.QueryEscape(key))
+}
+
+// WriteBlock implements Store: an atomic PUT.
+func (s *ObjectStore) WriteBlock(ctx context.Context, key string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return storage.WriteFileAtomic(s.fs, s.pathOf(key), data)
+}
+
+// ReadBlock implements Store: a whole-object GET.
+func (s *ObjectStore) ReadBlock(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	size, err := s.statObject(key)
+	if err != nil {
+		return nil, err
+	}
+	return s.readRange(key, 0, size)
+}
+
+// ReadBlockRange implements Store: a ranged GET.
+func (s *ObjectStore) ReadBlockRange(ctx context.Context, key string, off, length int64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	size, err := s.statObject(key)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || length < 0 || off+length > size {
+		return nil, fmt.Errorf("%w: [%d, %d) of %q (%d bytes)", ErrBadRange, off, off+length, key, size)
+	}
+	return s.readRange(key, off, length)
+}
+
+// statObject returns the object's size, mapping a missing file to
+// ErrNotFound.
+func (s *ObjectStore) statObject(key string) (int64, error) {
+	size, err := s.fs.Stat(s.pathOf(key))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return 0, fmt.Errorf("backend: stat object %q: %w", key, err)
+	}
+	return size, nil
+}
+
+// readRange reads [off, off+length) of the object.
+func (s *ObjectStore) readRange(key string, off, length int64) ([]byte, error) {
+	p := s.pathOf(key)
+	f, err := s.fs.OpenFile(p, os.O_RDONLY)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("backend: open object %q: %w", key, err)
+	}
+	buf := make([]byte, length)
+	if length > 0 {
+		if _, rerr := f.ReadAt(buf, off); rerr != nil {
+			f.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
+			return nil, fmt.Errorf("backend: read object %q: %w", key, rerr)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("backend: close object %q: %w", key, err)
+	}
+	return buf, nil
+}
+
+// DeleteBlock implements Store.
+func (s *ObjectStore) DeleteBlock(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateKey(key); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if err := s.fs.Remove(s.pathOf(key)); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return fmt.Errorf("backend: delete object %q: %w", key, err)
+	}
+	return s.fs.SyncDir(s.bucket)
+}
+
+// DeleteByPrefix implements Store.
+func (s *ObjectStore) DeleteByPrefix(ctx context.Context, prefix string) (int, error) {
+	keys, err := s.List(ctx, prefix)
+	if err != nil {
+		return 0, err
+	}
+	for i, key := range keys {
+		if err := s.DeleteBlock(ctx, key); err != nil {
+			return i, err
+		}
+	}
+	return len(keys), nil
+}
+
+// List implements Store. Objects whose escaped name ends in ".tmp" are
+// in-flight PUT temporaries from a crashed writer, never keys.
+func (s *ObjectStore) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := validPrefix(prefix); err != nil {
+		return nil, err
+	}
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	names, err := s.fs.ReadDir(s.bucket)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("backend: list bucket %s: %w", s.bucket, err)
+	}
+	var keys []string
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		key, err := url.QueryUnescape(name)
+		if err != nil {
+			continue // not one of ours
+		}
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Store.
+func (s *ObjectStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -161,6 +161,23 @@ func (s *Store) Codec() core.Codec { return s.codec }
 // NumBlocks returns the number of data blocks.
 func (s *Store) NumBlocks() int { return len(s.man.Load().blocks) }
 
+// FenceBounds reports the attribute-0 span the store's fences cover:
+// the clustering order is attribute-0-major, so the first block's First
+// and the last block's Last bracket every tuple. ok is false when the
+// store is empty or an edge fence is unknown (the caller must then treat
+// the span as the whole domain).
+func (s *Store) FenceBounds() (lo, hi uint64, ok bool) {
+	m := s.man.Load()
+	if len(m.fences) == 0 {
+		return 0, 0, false
+	}
+	first, last := m.fences[0], m.fences[len(m.fences)-1]
+	if !first.Known() || !last.Known() {
+		return 0, 0, false
+	}
+	return first.First[0], last.Last[0], true
+}
+
 // Blocks returns the pages of the store's blocks in clustered order.
 func (s *Store) Blocks() []storage.PageID {
 	m := s.man.Load()

@@ -13,6 +13,7 @@ package relfile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
 // Format magics. The trailing byte versions the format. Version 2 of the
@@ -489,4 +491,24 @@ func readStream(br *bufio.Reader, blockSize int) ([]byte, error) {
 		return nil, ErrTruncated
 	}
 	return stream, nil
+}
+
+// SavePlain writes schema and tuples to path in the plain format through
+// the storage layer's temp+rename path, so a crash or interrupt can
+// never leave a torn or half-written .rel file at the destination.
+func SavePlain(fs storage.FS, path string, s *relation.Schema, tuples []relation.Tuple) error {
+	var buf bytes.Buffer
+	if err := WritePlain(&buf, s, tuples); err != nil {
+		return err
+	}
+	return storage.WriteFileAtomic(fs, path, buf.Bytes())
+}
+
+// SaveCSV is SavePlain for the CSV export format.
+func SaveCSV(fs storage.FS, path string, s *relation.Schema, tuples []relation.Tuple) error {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s, tuples); err != nil {
+		return err
+	}
+	return storage.WriteFileAtomic(fs, path, buf.Bytes())
 }

@@ -1,0 +1,233 @@
+// Package shard partitions a table into φ-range shards over a pluggable
+// block-store backend. The catalog maps attribute-0 ranges (the φ-major
+// clustering prefix, so attribute-0 ranges ARE φ-ranges) to shards; each
+// shard is a full table — its own manifest, per-block fences, snapshot
+// refcounts, and WAL generation — and the scatter-gather executor prunes
+// whole shards on the catalog before per-block fence pruning even starts.
+// A one-shard catalog is the exact degenerate single-table case.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/storage"
+)
+
+// CatalogKey is the object key the catalog lives under in the backend
+// store rooted at the database directory.
+const CatalogKey = "SHARD_CATALOG"
+
+// catalogMagic versions the catalog encoding.
+var catalogMagic = [8]byte{'A', 'V', 'Q', 'S', 'H', 'R', 'D', '1'}
+
+// Info is the catalog's per-shard summary, refreshed at every
+// checkpoint. It is advisory (sizing, status display); correctness
+// derives only from Splits.
+type Info struct {
+	Tuples uint64
+	Blocks uint64
+}
+
+// Catalog is the shard map: interior split points on attribute 0,
+// persisted through the same write-then-publish discipline as the table
+// catalog (every shard durable first, then one atomic catalog object
+// with a bumped epoch).
+type Catalog struct {
+	// Kind is the backend every shard's blocks live in.
+	Kind backend.Kind
+	// Epoch counts catalog publications; recovery and status tooling use
+	// it to tell shard generations apart.
+	Epoch uint64
+	// Domain is the attribute-0 domain size; shard i owns the inclusive
+	// φ-range [lo_i, hi_i] with boundaries drawn from Splits.
+	Domain uint64
+	// PageSize is the block size every shard table was created with. It
+	// lives in the catalog so Open can rebuild pagers without the caller
+	// re-supplying the original table options.
+	PageSize uint32
+	// Splits holds the interior split points, strictly ascending, each in
+	// [1, Domain-1]: shard i ends at Splits[i]-1, the last shard ends at
+	// Domain-1. len(Splits)+1 is the shard count.
+	Splits []uint64
+	// Shards is the per-shard summary, parallel to the ranges.
+	Shards []Info
+}
+
+// NumShards returns the shard count.
+func (c *Catalog) NumShards() int { return len(c.Splits) + 1 }
+
+// RangeOf returns shard i's inclusive attribute-0 range.
+func (c *Catalog) RangeOf(i int) (lo, hi uint64) {
+	lo = 0
+	if i > 0 {
+		lo = c.Splits[i-1]
+	}
+	hi = c.Domain - 1
+	if i < len(c.Splits) {
+		hi = c.Splits[i] - 1
+	}
+	return lo, hi
+}
+
+// Route returns the shard owning attribute-0 value v.
+func (c *Catalog) Route(v uint64) int {
+	return sort.Search(len(c.Splits), func(j int) bool { return v < c.Splits[j] })
+}
+
+// Validate checks the catalog's structural invariants: a valid backend
+// kind, a non-empty domain, split points strictly ascending inside the
+// open interval (0, Domain), and the summary parallel to the ranges.
+// Sorted-and-strict splits make the ranges disjoint and exhaustive by
+// construction, which the scatter pruning and Route both rely on.
+func (c *Catalog) Validate() error {
+	if !c.Kind.Valid() {
+		return fmt.Errorf("shard: catalog has invalid backend kind %d", int(c.Kind))
+	}
+	if c.Domain == 0 {
+		return fmt.Errorf("shard: catalog domain is zero")
+	}
+	if c.PageSize == 0 {
+		return fmt.Errorf("shard: catalog page size is zero")
+	}
+	if uint64(len(c.Splits)) >= c.Domain {
+		return fmt.Errorf("shard: %d splits cannot partition a domain of %d", len(c.Splits), c.Domain)
+	}
+	prev := uint64(0)
+	for i, s := range c.Splits {
+		if s <= prev || s >= c.Domain {
+			return fmt.Errorf("shard: split %d = %d out of order for domain %d (previous %d)", i, s, c.Domain, prev)
+		}
+		prev = s
+	}
+	if len(c.Shards) != c.NumShards() {
+		return fmt.Errorf("shard: %d shard summaries for %d shards", len(c.Shards), c.NumShards())
+	}
+	return nil
+}
+
+// EqualSplits computes n-way equal-width interior split points for an
+// attribute-0 domain.
+func EqualSplits(n int, domain uint64) ([]uint64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be at least 1", n)
+	}
+	if uint64(n) > domain {
+		return nil, fmt.Errorf("shard: %d shards cannot partition a domain of %d", n, domain)
+	}
+	splits := make([]uint64, n-1)
+	for i := range splits {
+		splits[i] = uint64(i+1) * domain / uint64(n)
+	}
+	return splits, nil
+}
+
+// Encode serializes the catalog: magic, kind, epoch, domain, page size,
+// splits, per-shard summaries, CRC-32 of everything before it.
+func (c *Catalog) Encode() []byte {
+	buf := make([]byte, 0, 8+1+8+8+4+4+8*len(c.Splits)+16*len(c.Shards)+4)
+	buf = append(buf, catalogMagic[:]...)
+	buf = append(buf, byte(c.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, c.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, c.Domain)
+	buf = binary.LittleEndian.AppendUint32(buf, c.PageSize)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Splits)))
+	for _, s := range c.Splits {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	for _, in := range c.Shards {
+		buf = binary.LittleEndian.AppendUint64(buf, in.Tuples)
+		buf = binary.LittleEndian.AppendUint64(buf, in.Blocks)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeCatalog parses and validates an encoded catalog.
+func DecodeCatalog(data []byte) (*Catalog, error) {
+	const headLen = 8 + 1 + 8 + 8 + 4 + 4
+	if len(data) < headLen+4 {
+		return nil, fmt.Errorf("shard: catalog blob truncated at %d bytes", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("shard: catalog checksum mismatch")
+	}
+	if [8]byte(body[:8]) != catalogMagic {
+		return nil, fmt.Errorf("shard: bad catalog magic %q", body[:8])
+	}
+	c := &Catalog{Kind: backend.Kind(body[8])}
+	c.Epoch = binary.LittleEndian.Uint64(body[9:])
+	c.Domain = binary.LittleEndian.Uint64(body[17:])
+	c.PageSize = binary.LittleEndian.Uint32(body[25:])
+	nSplits := int(binary.LittleEndian.Uint32(body[29:]))
+	rest := body[headLen:]
+	if len(rest) != 8*nSplits+16*(nSplits+1) {
+		return nil, fmt.Errorf("shard: catalog body holds %d bytes, want %d", len(rest), 8*nSplits+16*(nSplits+1))
+	}
+	c.Splits = make([]uint64, nSplits)
+	for i := range c.Splits {
+		c.Splits[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	rest = rest[8*nSplits:]
+	c.Shards = make([]Info, nSplits+1)
+	for i := range c.Shards {
+		c.Shards[i].Tuples = binary.LittleEndian.Uint64(rest[16*i:])
+		c.Shards[i].Blocks = binary.LittleEndian.Uint64(rest[16*i+8:])
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadCatalogDir probes dir for a shard catalog without knowing the
+// backend kind in advance: the filesystem layout keeps the catalog
+// object directly under dir, the object layout inside the bucket
+// subdirectory. The probe reads the catalog file directly — building a
+// backend store would create directories, and recognizing a database
+// must not modify it. Tooling (avqdb shard status, avqtool inspect)
+// uses this to detect a sharded database from its directory alone.
+func ReadCatalogDir(fsys storage.FS, dir string) (*Catalog, error) {
+	if fsys == nil {
+		fsys = storage.OSFS{}
+	}
+	var firstErr error
+	for _, p := range []string{
+		filepath.Join(dir, CatalogKey),
+		filepath.Join(dir, objectsDir, CatalogKey),
+	} {
+		blob, err := readWholeFile(fsys, p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return DecodeCatalog(blob)
+	}
+	return nil, fmt.Errorf("shard: no catalog under %s: %w", dir, firstErr)
+}
+
+// readWholeFile slurps one file through the storage FS abstraction.
+func readWholeFile(fsys storage.FS, path string) ([]byte, error) {
+	size, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}

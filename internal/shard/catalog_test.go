@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+)
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := &Catalog{
+		Kind:     backend.KindObject,
+		Epoch:    7,
+		Domain:   1000,
+		PageSize: 4096,
+		Splits:   []uint64{100, 400, 900},
+		Shards:   []Info{{10, 1}, {20, 2}, {30, 3}, {40, 4}},
+	}
+	got, err := DecodeCatalog(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != c.Kind || got.Epoch != c.Epoch || got.Domain != c.Domain || got.PageSize != 4096 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Splits) != 3 || got.Splits[1] != 400 {
+		t.Fatalf("splits = %v", got.Splits)
+	}
+	if len(got.Shards) != 4 || got.Shards[2] != (Info{30, 3}) {
+		t.Fatalf("shards = %v", got.Shards)
+	}
+
+	// Corruption must not decode.
+	blob := c.Encode()
+	blob[12] ^= 0xFF
+	if _, err := DecodeCatalog(blob); err == nil {
+		t.Fatal("corrupted catalog decoded")
+	}
+	if _, err := DecodeCatalog(blob[:10]); err == nil {
+		t.Fatal("truncated catalog decoded")
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	ok := func() *Catalog {
+		return &Catalog{Kind: backend.KindMemory, Domain: 100, PageSize: 512, Splits: []uint64{25, 50}, Shards: make([]Info, 3)}
+	}
+	if err := ok().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Catalog){
+		"bad kind":        func(c *Catalog) { c.Kind = backend.Kind(9) },
+		"zero domain":     func(c *Catalog) { c.Domain = 0 },
+		"zero page size":  func(c *Catalog) { c.PageSize = 0 },
+		"unsorted splits": func(c *Catalog) { c.Splits = []uint64{50, 25} },
+		"dup splits":      func(c *Catalog) { c.Splits = []uint64{25, 25} },
+		"zero split":      func(c *Catalog) { c.Splits = []uint64{0, 25} },
+		"split at domain": func(c *Catalog) { c.Splits = []uint64{25, 100} },
+		"summary count":   func(c *Catalog) { c.Shards = c.Shards[:2] },
+	}
+	for name, mutate := range cases {
+		c := ok()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCatalogRouteAndRange(t *testing.T) {
+	c := &Catalog{Kind: backend.KindMemory, Domain: 100, PageSize: 512, Splits: []uint64{30, 60}, Shards: make([]Info, 3)}
+	ranges := [][2]uint64{{0, 29}, {30, 59}, {60, 99}}
+	for i, want := range ranges {
+		lo, hi := c.RangeOf(i)
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("RangeOf(%d) = [%d, %d], want %v", i, lo, hi, want)
+		}
+	}
+	// Every domain value routes to the shard whose range holds it.
+	for v := uint64(0); v < 100; v++ {
+		i := c.Route(v)
+		lo, hi := c.RangeOf(i)
+		if v < lo || v > hi {
+			t.Fatalf("Route(%d) = shard %d covering [%d, %d]", v, i, lo, hi)
+		}
+	}
+}
+
+func TestEqualSplits(t *testing.T) {
+	s, err := EqualSplits(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[0] != 25 || s[1] != 50 || s[2] != 75 {
+		t.Fatalf("splits = %v", s)
+	}
+	if s, err := EqualSplits(1, 5); err != nil || len(s) != 0 {
+		t.Fatalf("single shard: %v, %v", s, err)
+	}
+	if _, err := EqualSplits(10, 5); err == nil {
+		t.Fatal("more shards than domain values accepted")
+	}
+	if _, err := EqualSplits(0, 5); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

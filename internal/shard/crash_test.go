@@ -1,0 +1,244 @@
+// Crash matrix for the sharded database: kill the filesystem at strided
+// syscall ticks of a mixed WAL-logged workload, recover, reopen, and
+// prove the recovered database (a) passes the shard-aware Check and
+// (b) holds an acknowledged prefix of the workload — each shard's WAL
+// guarantees acked mutations survive; the one in-flight op may surface
+// fully, never partially.
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/relation"
+	"repro/internal/shard"
+	"repro/internal/simdisk"
+	"repro/internal/table"
+)
+
+const crashDir = "db"
+
+func crashConfig(kind backend.Kind, fs *simdisk.FaultFS) shard.Config {
+	return shard.Config{
+		Kind: kind, Dir: crashDir, FS: fs, Shards: 4,
+		Options: []table.Option{
+			table.WithPageSize(512),
+			table.WithDurability(table.DurabilityWAL),
+			table.WithWALSegmentSize(2048),
+		},
+	}
+}
+
+type skey [4]uint64
+
+func sKey(tu relation.Tuple) skey { return skey{tu[0], tu[1], tu[2], tu[3]} }
+
+// shardCrashOp is one acknowledged workload unit with its oracle effect.
+type shardCrashOp struct {
+	name  string
+	run   func(db *shard.DB) error
+	apply func(st map[skey]int)
+}
+
+func shardCrashOps() []shardCrashOp {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	var ops []shardCrashOp
+	add := func(name string, run func(*shard.DB) error, apply func(map[skey]int)) {
+		ops = append(ops, shardCrashOp{name, run, apply})
+	}
+	ins := func(tu relation.Tuple) {
+		add("insert", func(db *shard.DB) error { return db.Insert(ctx, tu) },
+			func(st map[skey]int) { st[sKey(tu)]++ })
+	}
+	del := func(tu relation.Tuple) {
+		add("delete", func(db *shard.DB) error {
+			_, err := db.Delete(ctx, tu)
+			return err
+		}, func(st map[skey]int) {
+			k := sKey(tu)
+			if st[k] > 0 {
+				st[k]--
+				if st[k] == 0 {
+					delete(st, k)
+				}
+			}
+		})
+	}
+
+	// Seed batch spanning all four shards.
+	var seed []relation.Tuple
+	for i := 0; i < 60; i++ {
+		seed = append(seed, randTuple(rng))
+	}
+	add("seed-batch", func(db *shard.DB) error { return db.InsertBatch(ctx, seed) },
+		func(st map[skey]int) {
+			for _, tu := range seed {
+				st[sKey(tu)]++
+			}
+		})
+	for i := 0; i < 8; i++ {
+		ins(randTuple(rng))
+	}
+	del(seed[5])
+	del(seed[40])
+	del(relation.Tuple{63, 15, 63, 4095}) // absent: logged no-op
+	add("checkpoint", func(db *shard.DB) error { return db.Checkpoint() }, func(map[skey]int) {})
+	for i := 0; i < 6; i++ {
+		ins(randTuple(rng))
+	}
+	del(seed[10])
+	return ops
+}
+
+func buildShardSnapshots(ops []shardCrashOp) []map[skey]int {
+	snaps := make([]map[skey]int, len(ops)+1)
+	cur := map[skey]int{}
+	clone := func() map[skey]int {
+		c := make(map[skey]int, len(cur))
+		for k, v := range cur {
+			c[k] = v
+		}
+		return c
+	}
+	snaps[0] = clone()
+	for i, o := range ops {
+		o.apply(cur)
+		snaps[i+1] = clone()
+	}
+	return snaps
+}
+
+// runShardCrashWorkload creates the DB and drives the workload; acked
+// counts completed ops (create itself is op 0's precondition).
+func runShardCrashWorkload(kind backend.Kind, fs *simdisk.FaultFS, ops []shardCrashOp) (acked int, err error) {
+	db, err := shard.Create(oracleSchema(), crashConfig(kind, fs))
+	if err != nil {
+		return -1, err
+	}
+	for i, o := range ops {
+		if err := o.run(db); err != nil {
+			return i, fmt.Errorf("%s: %w", o.name, err)
+		}
+	}
+	return len(ops), db.Close()
+}
+
+func sameShardMultiset(a, b map[skey]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func verifyShardCrashState(t *testing.T, kind backend.Kind, fs *simdisk.FaultFS, snaps []map[skey]int, acked int, tag string) {
+	t.Helper()
+	db, err := shard.Open(crashConfig(kind, fs))
+	if err != nil {
+		if acked < 0 {
+			return // crash predates a durable create; nothing to open
+		}
+		t.Fatalf("%s: reopen with %d acked: %v", tag, acked, err)
+	}
+	defer db.Close()
+	if err := db.Check(); err != nil {
+		t.Fatalf("%s: Check after recovery: %v", tag, err)
+	}
+	got := map[skey]int{}
+	if err := db.Scan(context.Background(), func(tu relation.Tuple) bool {
+		got[sKey(tu)]++
+		return true
+	}); err != nil {
+		t.Fatalf("%s: scan after recovery: %v", tag, err)
+	}
+	// Every acked op is durable on every shard it touched. The single
+	// in-flight op commits through per-shard WALs, so a multi-shard
+	// batch may land on some shards and not others — but within any one
+	// shard it is all-or-nothing. Verify each shard's φ-slice of the
+	// recovered state against the pre- and post-op snapshots.
+	lo := acked
+	if lo < 0 {
+		lo = 0
+	}
+	hi := lo + 1
+	if hi >= len(snaps) {
+		hi = len(snaps) - 1
+	}
+	cat := db.Catalog()
+	restrict := func(m map[skey]int, shard int) map[skey]int {
+		out := map[skey]int{}
+		for k, v := range m {
+			if cat.Route(k[0]) == shard {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	for i := 0; i < cat.NumShards(); i++ {
+		g := restrict(got, i)
+		if !sameShardMultiset(g, restrict(snaps[lo], i)) && !sameShardMultiset(g, restrict(snaps[hi], i)) {
+			t.Fatalf("%s: shard %d slice matches neither %d nor %d acked ops", tag, i, lo, hi)
+		}
+	}
+}
+
+// TestShardKillAndRecover strides kill points across the workload's
+// syscall ticks for both durable kinds, in strict and torn modes.
+func TestShardKillAndRecover(t *testing.T) {
+	ops := shardCrashOps()
+	snaps := buildShardSnapshots(ops)
+
+	for _, kind := range []backend.Kind{backend.KindFilesystem, backend.KindObject} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			probe := simdisk.NewFaultFS()
+			if acked, err := runShardCrashWorkload(kind, probe, ops); err != nil {
+				t.Fatalf("fault-free run failed at op %d: %v", acked, err)
+			}
+			total := probe.OpCount()
+			if total < 100 {
+				t.Fatalf("suspiciously small workload: %d ticks", total)
+			}
+			// Stride the matrix: ~120 kill points per kind x mode keeps the
+			// sweep dense enough to cross create, batch, WAL commit,
+			// checkpoint, and close windows without minutes of runtime.
+			stride := total / 120
+			if stride < 1 {
+				stride = 1
+			}
+			for _, mode := range []string{"strict", "torn"} {
+				mode := mode
+				t.Run(mode, func(t *testing.T) {
+					kills := 0
+					for k := int64(1); k <= total; k += stride {
+						fs := simdisk.NewFaultFS()
+						fs.CrashAt(k)
+						acked, err := runShardCrashWorkload(kind, fs, ops)
+						if err == nil {
+							break // run finished before tick k
+						}
+						kills++
+						var rng *rand.Rand
+						if mode == "torn" {
+							rng = rand.New(rand.NewSource(0xC0FFEE + k))
+						}
+						fs.Recover(rng)
+						verifyShardCrashState(t, kind, fs, snaps, acked,
+							fmt.Sprintf("%s/%s kill@%d/%d", kind, mode, k, total))
+					}
+					if kills < 60 {
+						t.Fatalf("matrix only exercised %d kill points", kills)
+					}
+				})
+			}
+		})
+	}
+}

@@ -243,18 +243,42 @@ func (fs *FaultFS) Rename(oldpath, newpath string) error {
 }
 
 // MkdirAll implements storage.FS. Directories carry no durability state of
-// their own beyond membership in the namespace maps.
+// their own beyond membership in the namespace maps. Every ancestor is
+// registered too, mirroring os.MkdirAll.
 func (fs *FaultFS) MkdirAll(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
 		return ErrCrashed
 	}
-	fs.dirs[cleanPath(path)] = true
+	for p := cleanPath(path); !fs.dirs[p]; p = filepath.Dir(p) {
+		fs.dirs[p] = true
+	}
 	return nil
 }
 
-// ReadDir implements storage.FS.
+// childSegment returns the first path segment of p relative to dir, and
+// whether p lies strictly below a subdirectory of dir (i.e. the segment
+// names a child directory, not a direct entry).
+func childSegment(dir, p string) (string, bool) {
+	var rel string
+	switch {
+	case dir == ".":
+		rel = p
+	case strings.HasPrefix(p, dir+"/"):
+		rel = p[len(dir)+1:]
+	default:
+		return "", false
+	}
+	if i := strings.IndexByte(rel, '/'); i >= 0 {
+		return rel[:i], true
+	}
+	return "", false
+}
+
+// ReadDir implements storage.FS. Like os.ReadDir it lists both files and
+// immediate subdirectories (registered via MkdirAll or implied by deeper
+// file paths).
 func (fs *FaultFS) ReadDir(path string) ([]string, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -262,10 +286,24 @@ func (fs *FaultFS) ReadDir(path string) ([]string, error) {
 		return nil, ErrCrashed
 	}
 	path = cleanPath(path)
+	seen := make(map[string]bool)
 	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
 	for p := range fs.files {
 		if filepath.Dir(p) == path {
-			names = append(names, filepath.Base(p))
+			add(filepath.Base(p))
+		} else if seg, ok := childSegment(path, p); ok {
+			add(seg)
+		}
+	}
+	for d := range fs.dirs {
+		if d != path && filepath.Dir(d) == path {
+			add(filepath.Base(d))
 		}
 	}
 	if names == nil && !fs.dirs[path] {

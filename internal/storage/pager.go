@@ -52,6 +52,24 @@ type Pager interface {
 	Close() error
 }
 
+// DurablePager is a Pager whose contents can survive the process: it can
+// flush buffered writes to stable storage and it supports the deferred-
+// free protocol crash-consistent catalogs rely on (pages freed between
+// checkpoints stay intact until ReleasePending, after the next catalog is
+// durable). FilePager implements it over a page file; backend.Pager
+// implements it over a keyed object store.
+type DurablePager interface {
+	Pager
+	// Sync makes all completed writes durable.
+	Sync() error
+	// SetDeferredFree switches the pager into (or out of) deferred-free
+	// mode: freed pages become unreadable but are not reused (or
+	// destroyed) until ReleasePending.
+	SetDeferredFree(on bool)
+	// ReleasePending makes pages freed since the last call reusable.
+	ReleasePending()
+}
+
 // MemPager is an in-memory Pager.
 type MemPager struct {
 	mu       sync.RWMutex
@@ -358,6 +376,8 @@ func (p *FilePager) Sync() error {
 	}
 	return p.f.Sync()
 }
+
+var _ DurablePager = (*FilePager)(nil)
 
 // Close implements Pager. It flushes buffered writes before closing and
 // surfaces the Sync error if the flush fails: silently dropping it would

@@ -39,6 +39,11 @@ func resolveOptions(opts []Option) Options {
 	return o
 }
 
+// Resolve folds an option list into the Options struct it denotes.
+// Layered callers (the shard layer) use it to inspect a configuration —
+// e.g. the page size — before constructing per-shard backends.
+func Resolve(opts []Option) Options { return resolveOptions(opts) }
+
 // WithCodec selects the block representation (default core.CodecAVQ).
 func WithCodec(c core.Codec) Option {
 	return optionFunc(func(o *Options) { o.Codec = c })
@@ -78,6 +83,15 @@ func WithSecondaryKind(k IndexKind) Option {
 // WithPath backs the table with a page file at the given location.
 func WithPath(path string) Option {
 	return optionFunc(func(o *Options) { o.Path = path })
+}
+
+// WithPager injects the page store directly instead of deriving one from
+// Path: the shard layer hands in a backend.Pager so the table's pages
+// live in a keyed object store. Combined with WithPath (which then only
+// anchors the WAL directory and the persistence contract), the pager must
+// implement storage.DurablePager.
+func WithPager(p storage.Pager) Option {
+	return optionFunc(func(o *Options) { o.Pager = p })
 }
 
 // WithConcurrency sets the block-codec worker count for bulk loads, scans,

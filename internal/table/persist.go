@@ -228,7 +228,7 @@ func (t *Table) Checkpoint() error {
 		}
 	}
 	t.catalogChains[slot] = chain
-	fp, isFile := t.pager.(*storage.FilePager)
+	dp, durable := t.pager.(storage.DurablePager)
 	// Durability barrier 1: every data page the new catalog will reference
 	// must be on stable storage before any catalog page naming it is
 	// written. With a single combined flush+sync the device may persist the
@@ -237,8 +237,8 @@ func (t *Table) Checkpoint() error {
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
-	if isFile {
-		if err := fp.Sync(); err != nil {
+	if durable {
+		if err := dp.Sync(); err != nil {
 			return err
 		}
 	}
@@ -269,15 +269,15 @@ func (t *Table) Checkpoint() error {
 	if err := t.pool.Flush(); err != nil {
 		return err
 	}
-	if isFile {
-		if err := fp.Sync(); err != nil {
+	if durable {
+		if err := dp.Sync(); err != nil {
 			return err
 		}
 	}
 	// The new catalog is durable: pages freed before it can now be reused.
 	t.generation = gen
-	if isFile {
-		fp.ReleasePending()
+	if durable {
+		dp.ReleasePending()
 	}
 	// With the catalog published, everything the log holds is folded in:
 	// rotate to a fresh segment at the new generation and delete the old
@@ -349,7 +349,9 @@ func Open(path string, options ...Option) (*Table, error) {
 	// every page a durable catalog references was fsynced before that
 	// catalog published, so a partial tail page can only be an
 	// unacknowledged torn write from the crash — cut it and recover.
-	if size, serr := fsys.Stat(path); serr == nil && size > 0 {
+	// With an injected pager there is no page file to check: its writes
+	// are whole-page atomic, so a torn tail cannot exist.
+	if size, serr := fsys.Stat(path); opts.Pager == nil && serr == nil && size > 0 {
 		ps := int64(opts.PageSize)
 		if rem := size % ps; rem != 0 {
 			if !walDirExists {
@@ -380,10 +382,18 @@ func Open(path string, options ...Option) (*Table, error) {
 	}
 
 	// Bootstrap: read both catalog chains with a raw pager so the schema
-	// and layout are known before the table shell exists.
-	probe, err := storage.OpenFilePagerFS(fsys, path, opts.PageSize)
-	if err != nil {
-		return nil, err
+	// and layout are known before the table shell exists. An injected
+	// pager doubles as its own probe — it is reused, not closed, when the
+	// shell is built around it.
+	var probe storage.Pager
+	if opts.Pager != nil {
+		probe = opts.Pager
+	} else {
+		fp, err := storage.OpenFilePagerFS(fsys, path, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		probe = fp
 	}
 	if probe.NumPages() < 2 {
 		probe.Close() //avqlint:ignore droppederr best-effort cleanup on a path already returning the primary error
@@ -416,7 +426,10 @@ func Open(path string, options ...Option) (*Table, error) {
 			best = meta
 		}
 	}
-	closeErr := probe.Close()
+	var closeErr error
+	if opts.Pager == nil {
+		closeErr = probe.Close()
+	}
 	if best == nil {
 		if firstErr == nil {
 			firstErr = errors.New("table: no valid catalog")
@@ -496,8 +509,8 @@ func Open(path string, options ...Option) (*Table, error) {
 		}
 	}
 	// Pages orphaned by a crash are immediately reusable.
-	if fp, ok := t.pager.(*storage.FilePager); ok {
-		fp.ReleasePending()
+	if dp, ok := t.pager.(storage.DurablePager); ok {
+		dp.ReleasePending()
 	}
 	// Attach and replay the WAL when asked for — or when a log directory
 	// already exists, whatever the options say: ignoring it would silently

@@ -42,6 +42,13 @@ func (s *Sync) NumBlocks() int {
 	return s.t.NumBlocks()
 }
 
+// PhiBounds reports the occupied attribute-0 span from the block fences.
+func (s *Sync) PhiBounds() (lo, hi uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.PhiBounds()
+}
+
 // SelectRange runs sigma_{lo<=A_attr<=hi}(R): planned under a shared
 // lock, executed against the pinned snapshot without it.
 func (s *Sync) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {
@@ -195,6 +202,20 @@ func (s *Sync) SelectRangeContext(ctx context.Context, attr int, lo, hi uint64) 
 		return true
 	})
 	return out, stats, err
+}
+
+// SelectRangeFuncContext is SelectRange streaming matches to fn instead
+// of materializing them: planned under a shared lock, executed lock-free
+// against the pinned snapshot. The scatter-gather executor feeds per-shard
+// merge channels through this without building intermediate slices.
+func (s *Sync) SelectRangeFuncContext(ctx context.Context, attr int, lo, hi uint64, fn func(relation.Tuple) bool) (QueryStats, error) {
+	s.mu.RLock()
+	r, err := s.t.planRange(attr, lo, hi)
+	s.mu.RUnlock()
+	if err != nil {
+		return QueryStats{}, err
+	}
+	return r.runCtx(ctx, fn)
 }
 
 // SelectContext is Select honouring ctx.

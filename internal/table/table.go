@@ -77,6 +77,15 @@ type Options struct {
 	// empty; use Open for an existing table. Persistent tables must be
 	// Closed (or Checkpointed) to make mutations durable.
 	Path string
+	// Pager, when non-nil, injects the page store directly instead of
+	// deriving one from Path: the shard layer hands in a backend.Pager so
+	// a table's pages live in a keyed object store. The table owns the
+	// pager and closes it. With a Pager set, Path no longer names a page
+	// file — it only anchors the WAL directory (Path + ".wal") and the
+	// persistence contract: a non-empty Path makes the table run the
+	// catalog checkpoint protocol against the injected pager, which must
+	// then implement storage.DurablePager.
+	Pager storage.Pager
 	// Concurrency is the block-codec worker count for bulk loads, scans,
 	// and stats (see blockstore.Config). Values <= 1 keep the serial
 	// reference path; runtime.NumCPU() is a good parallel setting.
@@ -254,7 +263,18 @@ func newTableShell(schema *relation.Schema, opts Options) (*Table, error) {
 		opts.FS = storage.OSFS{}
 	}
 	var pager storage.Pager
-	if opts.Path != "" {
+	if opts.Pager != nil {
+		pager = opts.Pager
+		if opts.Path != "" {
+			dp, ok := pager.(storage.DurablePager)
+			if !ok {
+				return nil, fmt.Errorf("table: injected pager for persistent table %s must implement storage.DurablePager", opts.Path)
+			}
+			// Crash consistency: pages freed between checkpoints must not
+			// be reused until the next catalog commit.
+			dp.SetDeferredFree(true)
+		}
+	} else if opts.Path != "" {
 		fp, err := storage.OpenFilePagerFS(opts.FS, opts.Path, opts.PageSize)
 		if err != nil {
 			return nil, err
@@ -356,6 +376,12 @@ func (t *Table) Len() int { return t.size }
 
 // NumBlocks returns the number of data blocks.
 func (t *Table) NumBlocks() int { return t.store.NumBlocks() }
+
+// PhiBounds reports the attribute-0 span actually occupied by the
+// table's blocks (from the block fences). ok is false when the table is
+// empty or a fence is unknown. The shard checker uses this to prove every
+// shard's data sits inside its catalog φ-range.
+func (t *Table) PhiBounds() (lo, hi uint64, ok bool) { return t.store.FenceBounds() }
 
 // Disk returns the simulated disk, for experiment accounting.
 func (t *Table) Disk() *simdisk.Disk { return t.disk }

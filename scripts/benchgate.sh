@@ -122,3 +122,32 @@ if [ "$wal_pass" != "true" ]; then
 fi
 
 echo "benchgate: PASS (group commit ${wal_speedup}x >= ${wal_min}x naive fsync-per-append)"
+
+# -- φ-range sharding gate ---------------------------------------------------
+# The shard experiment carries its own absolute gates: 4-shard scatter scan
+# >= 2x the single-shard scan (waived below 4 CPUs), catalog pruning >= the
+# single-table fence-prune rate at ~1% selectivity, and the count-range
+# arena path holding O(1) allocations per query. All are ratios or counts
+# on one host, so no cross-host baseline comparison is needed.
+if [ -f BENCH_shard.json ]; then
+    cp BENCH_shard.json "$tmpdir/shard-baseline.json"
+fi
+
+echo "== benchgate: running avqbench -exp shard"
+go run ./cmd/avqbench -exp shard
+
+shard_pass=$(jget BENCH_shard.json pass)
+shard_scale=$(jget BENCH_shard.json scale_pass)
+shard_prune=$(jget BENCH_shard.json prune_pass)
+shard_alloc=$(jget BENCH_shard.json alloc_pass)
+
+if [ -f "$tmpdir/shard-baseline.json" ]; then
+    cp "$tmpdir/shard-baseline.json" BENCH_shard.json
+fi
+
+if [ "$shard_pass" != "true" ]; then
+    echo "benchgate: shard gates failed (scale_pass=$shard_scale prune_pass=$shard_prune alloc_pass=$shard_alloc)" >&2
+    exit 1
+fi
+
+echo "benchgate: PASS (shard scale_pass=$shard_scale prune_pass=$shard_prune alloc_pass=$shard_alloc)"

@@ -38,6 +38,7 @@ go test ./internal/wal -run 'TestKillEverySyscall|TestKillDuringRecovery' -count
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/buffer ./internal/table ./internal/simdisk \
     ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
-    ./internal/core ./internal/analysis ./internal/wal
+    ./internal/core ./internal/analysis ./internal/wal \
+    ./internal/backend ./internal/shard
 
 echo "check.sh: all gates passed"
