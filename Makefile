@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal bench-shard benchgate crash
+.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal bench-shard bench-serve benchgate crash
 
 check:
 	sh scripts/check.sh
@@ -18,7 +18,7 @@ race:
 	$(GO) test -race ./internal/buffer ./internal/table ./internal/simdisk \
 		./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
 		./internal/core ./internal/analysis ./internal/wal \
-	./internal/backend ./internal/shard
+	./internal/backend ./internal/shard ./internal/server
 
 # The kill-at-every-syscall fault-injection matrix: crash at each I/O
 # point, recover, and prove the table replays every acknowledged write.
@@ -42,6 +42,9 @@ bench-wal:
 
 bench-shard:
 	$(GO) run ./cmd/avqbench -exp shard
+
+bench-serve:
+	$(GO) run ./cmd/avqbench -exp serve
 
 lint:
 	$(GO) vet ./...

@@ -12,10 +12,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/storage"
@@ -23,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, shard, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, shard, serve, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -31,13 +34,17 @@ func main() {
 		parallel = flag.Int("parallel", 0, "pipeline experiment worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*exp, *tuples, *reps, *pageSize, *seed, *parallel); err != nil {
+	// Ctrl-C cancels the running experiment at the next block boundary;
+	// every experiment threads this ctx down to the executor.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *exp, *tuples, *reps, *pageSize, *seed, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "avqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error {
+func run(ctx context.Context, exp string, tuples, reps, pageSize int, seed int64, parallel int) error {
 	out := os.Stdout
 	sep := func() { fmt.Fprintln(out, "\n================================================================") }
 	runOne := func(name string) error {
@@ -47,13 +54,13 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			if tuples > 0 {
 				cfg.TupleCounts = []int{tuples}
 			}
-			r, err := experiments.RunFig57(cfg)
+			r, err := experiments.RunFig57(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			return r.WriteText(out)
 		case "timing":
-			r, err := experiments.RunTiming(experiments.TimingConfig{
+			r, err := experiments.RunTiming(ctx, experiments.TimingConfig{
 				Tuples: tuples, Repetitions: reps, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -61,7 +68,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "fig5.8":
-			r, err := experiments.RunFig58(experiments.Fig58Config{
+			r, err := experiments.RunFig58(ctx, experiments.Fig58Config{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -69,7 +76,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "fig5.9":
-			r, err := experiments.RunFig59(experiments.Fig59Config{
+			r, err := experiments.RunFig59(ctx, experiments.Fig59Config{
 				Timing:   experiments.TimingConfig{Tuples: tuples, Repetitions: reps, Seed: seed},
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
 				PageSize: pageSize,
@@ -79,7 +86,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "ablation":
-			r, err := experiments.RunAblation(experiments.AblationConfig{
+			r, err := experiments.RunAblation(ctx, experiments.AblationConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -87,7 +94,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "blocksize":
-			r, err := experiments.RunBlockSize(experiments.BlockSizeConfig{
+			r, err := experiments.RunBlockSize(ctx, experiments.BlockSizeConfig{
 				Tuples: tuples, Seed: seed,
 			})
 			if err != nil {
@@ -95,7 +102,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "updates":
-			r, err := experiments.RunUpdates(experiments.UpdatesConfig{
+			r, err := experiments.RunUpdates(ctx, experiments.UpdatesConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -103,7 +110,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return r.WriteText(out)
 		case "pipeline":
-			r, err := experiments.RunPipeline(experiments.PipelineConfig{
+			r, err := experiments.RunPipeline(ctx, experiments.PipelineConfig{
 				Tuples: tuples, PageSize: pageSize, Concurrency: parallel, Seed: seed,
 			})
 			if err != nil {
@@ -114,7 +121,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return writeBenchJSON("BENCH_pipeline.json", r)
 		case "pruning":
-			r, err := experiments.RunPruning(experiments.PruningConfig{
+			r, err := experiments.RunPruning(ctx, experiments.PruningConfig{
 				Tuples: tuples, PageSize: pageSize, Reps: reps, Seed: seed,
 			})
 			if err != nil {
@@ -125,7 +132,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return writeBenchJSON("BENCH_pruning.json", r)
 		case "obs":
-			r, err := experiments.RunObs(experiments.ObsConfig{
+			r, err := experiments.RunObs(ctx, experiments.ObsConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -136,7 +143,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return writeBenchJSON("BENCH_obs.json", r)
 		case "decode":
-			r, err := experiments.RunDecode(experiments.DecodeConfig{
+			r, err := experiments.RunDecode(ctx, experiments.DecodeConfig{
 				Tuples: tuples, PageSize: pageSize, Seed: seed,
 			})
 			if err != nil {
@@ -147,7 +154,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return writeBenchJSON("BENCH_decode.json", r)
 		case "shard":
-			r, err := experiments.RunShard(experiments.ShardConfig{
+			r, err := experiments.RunShard(ctx, experiments.ShardConfig{
 				Tuples: tuples, PageSize: pageSize, Rounds: reps, Seed: seed,
 			})
 			if err != nil {
@@ -158,7 +165,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 			}
 			return writeBenchJSON("BENCH_shard.json", r)
 		case "wal":
-			r, err := experiments.RunWAL(experiments.WALConfig{
+			r, err := experiments.RunWAL(ctx, experiments.WALConfig{
 				Tuples: tuples, PageSize: pageSize, Writers: parallel, Seed: seed,
 			})
 			if err != nil {
@@ -168,8 +175,20 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 				return err
 			}
 			return writeBenchJSON("BENCH_wal.json", r)
+		case "serve":
+			r, err := experiments.RunServe(ctx, experiments.ServeConfig{
+				Tuples: tuples, PageSize: pageSize, Concurrency: parallel,
+				Rounds: reps, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeBenchJSON("BENCH_serve.json", r)
 		case "cpusweep":
-			r, err := experiments.RunCPUSweep(experiments.CPUSweepConfig{
+			r, err := experiments.RunCPUSweep(ctx, experiments.CPUSweepConfig{
 				Fig58:    experiments.Fig58Config{Tuples: tuples, Seed: seed},
 				PageSize: pageSize,
 			})
@@ -184,7 +203,7 @@ func run(exp string, tuples, reps, pageSize int, seed int64, parallel int) error
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal", "shard"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal", "shard", "serve"} {
 		if i > 0 {
 			sep()
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"testing"
 )
@@ -12,7 +13,7 @@ import (
 func TestAllExperimentsSmallScale(t *testing.T) {
 	t.Chdir(t.TempDir())
 	for _, exp := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "obs"} {
-		if err := run(exp, 2000, 1, 0, 7, 2); err != nil {
+		if err := run(context.Background(), exp, 2000, 1, 0, 7, 2); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -25,7 +26,7 @@ func TestAllExperimentsSmallScale(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("nope", 100, 1, 0, 7, 0); err != nil {
+	if err := run(context.Background(), "nope", 100, 1, 0, 7, 0); err != nil {
 		if err.Error() != `unknown experiment "nope"` {
 			t.Fatalf("unexpected error: %v", err)
 		}

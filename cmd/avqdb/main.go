@@ -24,24 +24,34 @@
 // live per-shard sizes and the cross-layer invariant check.
 //
 // stats -live opens the table instrumented, replays a representative
-// workload, and prints the live metrics registry. serve mounts the opt-in
-// debug endpoint (/metrics, /slowops, /debug/pprof) over an instrumented
-// table; it has no authentication, so bind it to localhost.
+// workload, and prints the live metrics registry. serve runs the full
+// HTTP/JSON query service (see avqserve) over an instrumented table with
+// the debug endpoints (/metrics, /slowops, /debug/pprof) mounted; it has
+// no authentication, so bind it to localhost.
+//
+// The data commands (query, count, agg, insert, delete) build the same
+// server.QueryRequest/MutateRequest the HTTP endpoints decode, so a CLI
+// flag and a JSON field validate and execute through one shared path.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/relfile"
+	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/table"
 	"repro/internal/wal"
@@ -84,7 +94,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "avqdb: -db is required")
 		os.Exit(2)
 	}
-	err := run(cmd, args{
+	// Ctrl-C cancels the running command at the next block boundary
+	// instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, cmd, args{
 		sub: sub,
 		db:  *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
 		hash: *useHash, in: *in, tuple: *tupleStr,
@@ -111,32 +125,32 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|wal|serve|shard -db FILE [flags]")
 }
 
-func run(cmd string, a args) error {
+func run(ctx context.Context, cmd string, a args) error {
 	switch cmd {
 	case "create":
 		return create(a)
 	case "load":
-		return load(a)
+		return load(ctx, a)
 	case "insert", "delete":
-		return mutate(cmd, a)
+		return mutate(ctx, cmd, a)
 	case "query":
-		return query(a)
+		return query(ctx, a)
 	case "count":
-		return count(a)
+		return count(ctx, a)
 	case "agg":
-		return agg(a)
+		return agg(ctx, a)
 	case "explain":
 		return explain(a)
 	case "compact":
-		return compact(a)
+		return compact(ctx, a)
 	case "stats":
-		return stats(a)
+		return stats(ctx, a)
 	case "verify":
 		return verify(a)
 	case "wal":
 		return walInspect(a)
 	case "serve":
-		return serve(a)
+		return serve(ctx, a)
 	case "shard":
 		return shardStatus(a)
 	default:
@@ -165,21 +179,20 @@ func parseSchema(s string) (*relation.Schema, error) {
 	return relation.NewSchema(doms...)
 }
 
-// parseTuple parses "v1,v2,..." against the schema.
-func parseTuple(s *relation.Schema, str string) (relation.Tuple, error) {
+// parseValues parses "v1,v2,..." into raw values. Arity and domain
+// checks happen in server.MutateRequest.Validate — the same path an HTTP
+// mutation goes through.
+func parseValues(str string) ([]uint64, error) {
 	parts := strings.Split(str, ",")
-	if len(parts) != s.NumAttrs() {
-		return nil, fmt.Errorf("tuple has %d values, schema has %d attributes", len(parts), s.NumAttrs())
-	}
-	tu := make(relation.Tuple, len(parts))
+	vals := make([]uint64, len(parts))
 	for i, p := range parts {
 		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("value %d: %w", i, err)
 		}
-		tu[i] = v
+		vals[i] = v
 	}
-	return tu, s.ValidateTuple(tu)
+	return vals, nil
 }
 
 func parseCodec(name string) (core.Codec, error) {
@@ -231,7 +244,7 @@ func openDB(a args) (*table.Table, error) {
 	return table.Open(a.db, table.Options{})
 }
 
-func load(a args) error {
+func load(ctx context.Context, a args) error {
 	if a.in == "" {
 		return fmt.Errorf("load needs -in")
 	}
@@ -259,10 +272,10 @@ func load(a args) error {
 		return err
 	}
 	if tb.Len() == 0 {
-		if err := tb.BulkLoad(tuples); err != nil {
+		if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 			return err
 		}
-	} else if err := tb.InsertBatch(tuples); err != nil {
+	} else if err := tb.InsertBatchContext(ctx, tuples); err != nil {
 		return err
 	}
 	fmt.Printf("loaded %d tuples; table now holds %d in %d blocks\n",
@@ -270,13 +283,13 @@ func load(a args) error {
 	return nil
 }
 
-func compact(a args) error {
+func compact(ctx context.Context, a args) error {
 	tb, err := openDB(a)
 	if err != nil {
 		return err
 	}
 	defer tb.Close()
-	before, after, err := tb.Compact()
+	before, after, err := tb.CompactContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -284,96 +297,105 @@ func compact(a args) error {
 	return nil
 }
 
-func mutate(cmd string, a args) error {
+// runQuery opens the table and executes one QueryRequest through the
+// exact validation and execution path the HTTP endpoint uses.
+func runQuery(ctx context.Context, a args, req server.QueryRequest) (*server.QueryResponse, int, error) {
+	tb, err := openDB(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer tb.Close()
+	if err := req.Validate(tb.Schema()); err != nil {
+		return nil, 0, err
+	}
+	resp, err := req.Run(ctx, tb)
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp, tb.NumBlocks(), nil
+}
+
+func mutate(ctx context.Context, cmd string, a args) error {
 	if a.tuple == "" {
 		return fmt.Errorf("%s needs -tuple", cmd)
 	}
+	vals, err := parseValues(a.tuple)
+	if err != nil {
+		return err
+	}
 	tb, err := openDB(a)
 	if err != nil {
 		return err
 	}
 	defer tb.Close()
-	tu, err := parseTuple(tb.Schema(), a.tuple)
+	req := server.MutateRequest{Op: cmd, Tuple: vals}
+	if err := req.Validate(tb.Schema()); err != nil {
+		return err
+	}
+	resp, err := req.Run(ctx, tb)
 	if err != nil {
 		return err
 	}
-	if cmd == "insert" {
-		if err := tb.Insert(tu); err != nil {
-			return err
-		}
-		fmt.Printf("inserted %v; table holds %d tuples in %d blocks\n", tu, tb.Len(), tb.NumBlocks())
-		return nil
-	}
-	ok, err := tb.Delete(tu)
-	if err != nil {
-		return err
-	}
-	if !ok {
+	tu := relation.Tuple(vals)
+	switch {
+	case cmd == "insert":
+		fmt.Printf("inserted %v; table holds %d tuples in %d blocks\n", tu, resp.Len, tb.NumBlocks())
+	case !resp.Found:
 		fmt.Printf("%v not found\n", tu)
-		return nil
+	default:
+		fmt.Printf("deleted %v; table holds %d tuples in %d blocks\n", tu, resp.Len, tb.NumBlocks())
 	}
-	fmt.Printf("deleted %v; table holds %d tuples in %d blocks\n", tu, tb.Len(), tb.NumBlocks())
 	return nil
 }
 
-func query(a args) error {
-	tb, err := openDB(a)
-	if err != nil {
-		return err
-	}
-	defer tb.Close()
-	printed := 0
-	stats, err := tb.SelectRangeFunc(a.attr, a.lo, a.hi, func(tu relation.Tuple) bool {
-		if printed < a.limit {
-			fmt.Println(tu)
-			printed++
-		}
-		return true
+func query(ctx context.Context, a args) error {
+	resp, blocks, err := runQuery(ctx, a, server.QueryRequest{
+		Op: server.OpSelect, Attr: a.attr, Lo: a.lo, Hi: a.hi,
+		Limit: a.limit, Stats: true,
 	})
 	if err != nil {
 		return err
 	}
-	if stats.Matches > printed {
-		fmt.Printf("... and %d more\n", stats.Matches-printed)
+	for _, row := range resp.Rows {
+		fmt.Println(relation.Tuple(row))
 	}
-	fmt.Printf("%d rows via %s\n", stats.Matches, pathLine(stats, tb.NumBlocks()))
+	if resp.Truncated {
+		fmt.Printf("... and %d more\n", resp.Count-len(resp.Rows))
+	}
+	fmt.Printf("%d rows via %s\n", resp.Count, pathLine(resp.Stats, blocks))
 	return nil
 }
 
 // pathLine renders a query's access-path counters: the I/O split between
 // disk reads and cache hits, the blocks the φ-fences pruned, and how many
 // reads decoded only a span of the block.
-func pathLine(qs table.QueryStats, total int) string {
+func pathLine(st *server.StatsJSON, total int) string {
 	return fmt.Sprintf("%s path: %d of %d blocks read (%d from cache), %d pruned by fence, %d partial decodes",
-		qs.Strategy, qs.BlocksRead, total, qs.CacheHits, qs.BlocksPruned, qs.PartialDecodes)
+		st.Strategy, st.BlocksRead, total, st.CacheHits, st.BlocksPruned, st.PartialDecodes)
 }
 
-func count(a args) error {
-	tb, err := openDB(a)
+func count(ctx context.Context, a args) error {
+	resp, blocks, err := runQuery(ctx, a, server.QueryRequest{
+		Op: server.OpCount, Attr: a.attr, Lo: a.lo, Hi: a.hi, Stats: true,
+	})
 	if err != nil {
 		return err
 	}
-	defer tb.Close()
-	n, stats, err := tb.CountRange(a.attr, a.lo, a.hi)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%d rows via %s\n", n, pathLine(stats, tb.NumBlocks()))
+	fmt.Printf("%d rows via %s\n", resp.Count, pathLine(resp.Stats, blocks))
 	return nil
 }
 
-func agg(a args) error {
-	tb, err := openDB(a)
+func agg(ctx context.Context, a args) error {
+	resp, blocks, err := runQuery(ctx, a, server.QueryRequest{
+		Op: server.OpAggregate, Attr: a.attr, Lo: a.lo, Hi: a.hi,
+		AggAttr: a.aggAttr, Stats: true,
+	})
 	if err != nil {
 		return err
 	}
-	defer tb.Close()
-	res, qs, err := tb.AggregateRange(a.attr, a.lo, a.hi, a.aggAttr)
-	if err != nil {
-		return err
-	}
+	res := resp.Agg
 	fmt.Printf("count=%d sum=%d min=%d max=%d (attr %d over %d<=A%d<=%d; %s)\n",
-		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, pathLine(qs, tb.NumBlocks()))
+		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, pathLine(resp.Stats, blocks))
 	return nil
 }
 
@@ -391,9 +413,9 @@ func explain(a args) error {
 	return nil
 }
 
-func stats(a args) error {
+func stats(ctx context.Context, a args) error {
 	if a.live {
-		return statsLive(a)
+		return statsLive(ctx, a)
 	}
 	tb, err := openDB(a)
 	if err != nil {
@@ -420,14 +442,14 @@ func stats(a args) error {
 // workload (full scan plus a range count and aggregate per attribute), and
 // prints the registry snapshot — counters, gauges, latency histograms, and
 // any ops that crossed the slow threshold.
-func statsLive(a args) error {
+func statsLive(ctx context.Context, a args) error {
 	reg := obs.NewRegistry()
 	tb, err := table.Open(a.db, table.WithObs(reg), table.WithSlowOpThreshold(time.Duration(a.slowMs)*time.Millisecond))
 	if err != nil {
 		return err
 	}
 	defer tb.Close()
-	if err := replayWorkload(tb); err != nil {
+	if err := replayWorkload(ctx, tb); err != nil {
 		return err
 	}
 	fmt.Printf("live metrics for %s (%d tuples, %d blocks):\n", a.db, tb.Len(), tb.NumBlocks())
@@ -437,28 +459,25 @@ func statsLive(a args) error {
 // replayWorkload drives every read path once so each instrumented layer
 // has something to report: a full scan, then per-attribute range counts
 // and an aggregate over the lower half of each domain.
-func replayWorkload(tb *table.Table) error {
-	if err := tb.Scan(func(relation.Tuple) bool { return true }); err != nil {
+func replayWorkload(ctx context.Context, tb *table.Table) error {
+	if err := tb.ScanContext(ctx, func(relation.Tuple) bool { return true }); err != nil {
 		return err
 	}
 	s := tb.Schema()
 	for attr := 0; attr < s.NumAttrs(); attr++ {
 		hi := s.Domain(attr).Size / 2
-		if _, _, err := tb.CountRange(attr, 0, hi); err != nil {
+		if _, _, err := tb.CountRangeContext(ctx, attr, 0, hi); err != nil {
 			return err
 		}
 	}
 	if s.NumAttrs() > 1 {
-		if _, _, err := tb.AggregateRange(0, 0, s.Domain(0).Size, 1); err != nil {
+		if _, _, err := tb.AggregateRangeContext(ctx, 0, 0, s.Domain(0).Size, 1); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// serve mounts the opt-in debug endpoint over an instrumented table. The
-// workload is replayed once at startup so /metrics is not empty; after
-// that the handler serves whatever the registry accumulates.
 // walInspect prints the write-ahead log's segments without opening (or
 // replaying into) the table, so it is safe to run on a crashed image.
 func walInspect(a args) error {
@@ -488,19 +507,48 @@ func walInspect(a args) error {
 	return nil
 }
 
-func serve(a args) error {
+// serve runs the full HTTP/JSON query service over an instrumented
+// table — the same internal/server stack avqserve uses, with the debug
+// endpoints mounted. The workload is replayed once at startup so
+// /metrics is not empty, and SIGINT/SIGTERM drains gracefully: inflight
+// requests finish, then the engine is asserted to hold zero pinned
+// frames and zero live snapshots.
+func serve(ctx context.Context, a args) error {
 	reg := obs.NewRegistry()
 	tb, err := table.Open(a.db, table.WithObs(reg), table.WithSlowOpThreshold(time.Duration(a.slowMs)*time.Millisecond))
 	if err != nil {
 		return err
 	}
-	defer tb.Close()
-	if err := replayWorkload(tb); err != nil {
+	if err := replayWorkload(ctx, tb); err != nil {
+		return errors.Join(err, tb.Close())
+	}
+	eng := table.NewSync(tb)
+	s := server.New(server.Config{Engine: eng, Obs: reg, Debug: true})
+	l, err := net.Listen("tcp", a.listen)
+	if err != nil {
+		return errors.Join(err, eng.Close())
+	}
+	fmt.Printf("serving /v1/query, /v1/mutate, /metrics, /slowops, /debug/pprof on %s (table %s: %d tuples, %d blocks)\n",
+		a.listen, a.db, eng.Len(), eng.NumBlocks())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return errors.Join(err, eng.Close())
+	case <-ctx.Done():
+	}
+	fmt.Println("draining...")
+	// The signal ctx is already cancelled; give the drain its own
+	// deadline derived from it so inflight requests can still finish.
+	drainCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
+	defer cancel()
+	err = s.Shutdown(drainCtx)
+	err = errors.Join(err, <-serveErr, eng.Close())
+	if err != nil {
 		return err
 	}
-	fmt.Printf("serving /metrics, /slowops, /debug/pprof on %s (table %s: %d tuples, %d blocks)\n",
-		a.listen, a.db, tb.Len(), tb.NumBlocks())
-	return http.ListenAndServe(a.listen, obs.Handler(reg))
+	fmt.Println("drained clean (0 pins, 0 snapshots)")
+	return nil
 }
 
 func verify(a args) error {

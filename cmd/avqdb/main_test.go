@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,39 +19,39 @@ func TestCreateLoadQueryLifecycle(t *testing.T) {
 	a.schema = "region:16,store:128,units:1000"
 	a.codec = "avq"
 	a.index = "1"
-	if err := run("create", a); err != nil {
+	if err := run(context.Background(), "create", a); err != nil {
 		t.Fatalf("create: %v", err)
 	}
 
 	// Insert, count, query, delete, stats, verify.
 	a = dbArgs(db)
 	a.tuple = "3,77,999"
-	if err := run("insert", a); err != nil {
+	if err := run(context.Background(), "insert", a); err != nil {
 		t.Fatalf("insert: %v", err)
 	}
 	a = dbArgs(db)
 	a.attr, a.lo, a.hi = 0, 3, 3
-	if err := run("count", a); err != nil {
+	if err := run(context.Background(), "count", a); err != nil {
 		t.Fatalf("count: %v", err)
 	}
-	if err := run("query", a); err != nil {
+	if err := run(context.Background(), "query", a); err != nil {
 		t.Fatalf("query: %v", err)
 	}
 	a = dbArgs(db)
 	a.tuple = "3,77,999"
-	if err := run("delete", a); err != nil {
+	if err := run(context.Background(), "delete", a); err != nil {
 		t.Fatalf("delete: %v", err)
 	}
-	if err := run("stats", dbArgs(db)); err != nil {
+	if err := run(context.Background(), "stats", dbArgs(db)); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
 	live := dbArgs(db)
 	live.live = true
 	live.slowMs = 50
-	if err := run("stats", live); err != nil {
+	if err := run(context.Background(), "stats", live); err != nil {
 		t.Fatalf("stats -live: %v", err)
 	}
-	if err := run("verify", dbArgs(db)); err != nil {
+	if err := run(context.Background(), "verify", dbArgs(db)); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
 }
@@ -59,25 +60,25 @@ func TestCreateErrors(t *testing.T) {
 	dir := t.TempDir()
 	a := dbArgs(filepath.Join(dir, "x.avqdb"))
 	a.codec = "avq"
-	if err := run("create", a); err == nil {
+	if err := run(context.Background(), "create", a); err == nil {
 		t.Fatal("create without schema succeeded")
 	}
 	a.schema = "broken"
-	if err := run("create", a); err == nil {
+	if err := run(context.Background(), "create", a); err == nil {
 		t.Fatal("malformed schema accepted")
 	}
 	a.schema = "a:0"
-	if err := run("create", a); err == nil {
+	if err := run(context.Background(), "create", a); err == nil {
 		t.Fatal("zero-size domain accepted")
 	}
 	a.schema = "a:10"
 	a.codec = "nope"
-	if err := run("create", a); err == nil {
+	if err := run(context.Background(), "create", a); err == nil {
 		t.Fatal("unknown codec accepted")
 	}
 	a.codec = "avq"
 	a.index = "x"
-	if err := run("create", a); err == nil {
+	if err := run(context.Background(), "create", a); err == nil {
 		t.Fatal("malformed index list accepted")
 	}
 }
@@ -88,34 +89,34 @@ func TestMutateErrors(t *testing.T) {
 	a := dbArgs(db)
 	a.schema = "a:10,b:10"
 	a.codec = "avq"
-	if err := run("create", a); err != nil {
+	if err := run(context.Background(), "create", a); err != nil {
 		t.Fatal(err)
 	}
 	a = dbArgs(db)
-	if err := run("insert", a); err == nil {
+	if err := run(context.Background(), "insert", a); err == nil {
 		t.Fatal("insert without tuple succeeded")
 	}
 	a.tuple = "1"
-	if err := run("insert", a); err == nil {
+	if err := run(context.Background(), "insert", a); err == nil {
 		t.Fatal("wrong-arity tuple accepted")
 	}
 	a.tuple = "1,99"
-	if err := run("insert", a); err == nil {
+	if err := run(context.Background(), "insert", a); err == nil {
 		t.Fatal("out-of-domain tuple accepted")
 	}
 	a.tuple = "1,x"
-	if err := run("insert", a); err == nil {
+	if err := run(context.Background(), "insert", a); err == nil {
 		t.Fatal("non-numeric tuple accepted")
 	}
 	// Deleting an absent tuple is not an error (reports "not found").
 	a.tuple = "1,2"
-	if err := run("delete", a); err != nil {
+	if err := run(context.Background(), "delete", a); err != nil {
 		t.Fatalf("delete of absent tuple: %v", err)
 	}
 }
 
 func TestUnknownCommand(t *testing.T) {
-	if err := run("bogus", dbArgs("x")); err == nil {
+	if err := run(context.Background(), "bogus", dbArgs("x")); err == nil {
 		t.Fatal("unknown command succeeded")
 	}
 }
@@ -128,17 +129,17 @@ func TestHashIndexCreate(t *testing.T) {
 	a.codec = "packed"
 	a.index = "1"
 	a.hash = true
-	if err := run("create", a); err != nil {
+	if err := run(context.Background(), "create", a); err != nil {
 		t.Fatal(err)
 	}
 	a = dbArgs(db)
 	a.tuple = "5,7"
-	if err := run("insert", a); err != nil {
+	if err := run(context.Background(), "insert", a); err != nil {
 		t.Fatal(err)
 	}
 	a = dbArgs(db)
 	a.attr, a.lo, a.hi = 1, 7, 7
-	if err := run("query", a); err != nil {
+	if err := run(context.Background(), "query", a); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -150,22 +151,22 @@ func TestAggAndExplain(t *testing.T) {
 	a.schema = "a:16,b:100"
 	a.codec = "avq"
 	a.index = "1"
-	if err := run("create", a); err != nil {
+	if err := run(context.Background(), "create", a); err != nil {
 		t.Fatal(err)
 	}
 	for _, tup := range []string{"1,10", "1,20", "2,30"} {
 		a = dbArgs(db)
 		a.tuple = tup
-		if err := run("insert", a); err != nil {
+		if err := run(context.Background(), "insert", a); err != nil {
 			t.Fatal(err)
 		}
 	}
 	a = dbArgs(db)
 	a.attr, a.lo, a.hi, a.aggAttr = 0, 1, 1, 1
-	if err := run("agg", a); err != nil {
+	if err := run(context.Background(), "agg", a); err != nil {
 		t.Fatalf("agg: %v", err)
 	}
-	if err := run("explain", a); err != nil {
+	if err := run(context.Background(), "explain", a); err != nil {
 		t.Fatalf("explain: %v", err)
 	}
 }
@@ -176,7 +177,7 @@ func TestLoadCSVAndCompact(t *testing.T) {
 	a := dbArgs(db)
 	a.schema = "x:10,y:100"
 	a.codec = "avq"
-	if err := run("create", a); err != nil {
+	if err := run(context.Background(), "create", a); err != nil {
 		t.Fatal(err)
 	}
 	csv := filepath.Join(dir, "rows.csv")
@@ -185,22 +186,22 @@ func TestLoadCSVAndCompact(t *testing.T) {
 	}
 	a = dbArgs(db)
 	a.in = csv
-	if err := run("load", a); err != nil {
+	if err := run(context.Background(), "load", a); err != nil {
 		t.Fatalf("csv load: %v", err)
 	}
 	// A second load goes through the batch-insert path.
-	if err := run("load", a); err != nil {
+	if err := run(context.Background(), "load", a); err != nil {
 		t.Fatalf("second csv load: %v", err)
 	}
 	a = dbArgs(db)
 	a.attr, a.lo, a.hi = 0, 1, 3
-	if err := run("count", a); err != nil {
+	if err := run(context.Background(), "count", a); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("compact", dbArgs(db)); err != nil {
+	if err := run(context.Background(), "compact", dbArgs(db)); err != nil {
 		t.Fatalf("compact: %v", err)
 	}
-	if err := run("verify", dbArgs(db)); err != nil {
+	if err := run(context.Background(), "verify", dbArgs(db)); err != nil {
 		t.Fatal(err)
 	}
 }

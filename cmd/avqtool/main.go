@@ -21,6 +21,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -314,6 +315,7 @@ func convert(in, out string) error {
 // replays a query workload (full scan plus a range count per attribute),
 // and dumps the observability registry.
 func metrics(in, codecName string, blockSize int, jsonOut bool) error {
+	ctx := context.Background()
 	codec, err := parseCodec(codecName)
 	if err != nil {
 		return err
@@ -336,14 +338,14 @@ func metrics(in, codecName string, blockSize int, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	if err := tb.BulkLoad(tuples); err != nil {
+	if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 		return err
 	}
-	if err := tb.Scan(func(relation.Tuple) bool { return true }); err != nil {
+	if err := tb.ScanContext(ctx, func(relation.Tuple) bool { return true }); err != nil {
 		return err
 	}
 	for attr := 0; attr < schema.NumAttrs(); attr++ {
-		if _, _, err := tb.CountRange(attr, 0, schema.Domain(attr).Size/2); err != nil {
+		if _, _, err := tb.CountRangeContext(ctx, attr, 0, schema.Domain(attr).Size/2); err != nil {
 			return err
 		}
 	}

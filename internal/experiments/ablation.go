@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -55,7 +56,7 @@ type AblationResult struct {
 
 // RunAblation measures block counts for every codec on each Figure 5.7
 // test configuration.
-func RunAblation(cfg AblationConfig) (*AblationResult, error) {
+func RunAblation(ctx context.Context, cfg AblationConfig) (*AblationResult, error) {
 	cfg.fillDefaults()
 	res := &AblationResult{Tuples: cfg.Tuples}
 	codecs := []core.Codec{core.CodecRaw, core.CodecAVQ, core.CodecRepOnly, core.CodecDeltaChain, core.CodecPacked}
@@ -68,7 +69,7 @@ func RunAblation(cfg AblationConfig) (*AblationResult, error) {
 		schema.SortTuples(tuples)
 		rawBlocks := 0
 		for _, codec := range codecs {
-			blocks, err := blockCount(schema, tuples, codec, cfg.PageSize)
+			blocks, err := blockCount(ctx, schema, tuples, codec, cfg.PageSize)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -52,7 +53,7 @@ type BlockSizeResult struct {
 }
 
 // RunBlockSize sweeps the block size over the Section 5.2 relation.
-func RunBlockSize(cfg BlockSizeConfig) (*BlockSizeResult, error) {
+func RunBlockSize(ctx context.Context, cfg BlockSizeConfig) (*BlockSizeResult, error) {
 	cfg.fillDefaults()
 	spec := gen.Spec38Byte(cfg.Tuples, false, cfg.Seed)
 	schema, tuples, err := spec.Build()
@@ -62,11 +63,11 @@ func RunBlockSize(cfg BlockSizeConfig) (*BlockSizeResult, error) {
 	schema.SortTuples(tuples)
 	res := &BlockSizeResult{Tuples: cfg.Tuples}
 	for _, size := range cfg.Sizes {
-		rawBlocks, err := blockCount(schema, tuples, core.CodecRaw, size)
+		rawBlocks, err := blockCount(ctx, schema, tuples, core.CodecRaw, size)
 		if err != nil {
 			return nil, err
 		}
-		avqBlocks, err := blockCount(schema, tuples, core.CodecAVQ, size)
+		avqBlocks, err := blockCount(ctx, schema, tuples, core.CodecAVQ, size)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -66,9 +67,9 @@ type CPUSweepResult struct {
 
 // RunCPUSweep measures N once, then evaluates the model across CPU speeds.
 // The baseline t2/t3 are the paper's HP 9000/735 measurements.
-func RunCPUSweep(cfg CPUSweepConfig) (*CPUSweepResult, error) {
+func RunCPUSweep(ctx context.Context, cfg CPUSweepConfig) (*CPUSweepResult, error) {
 	cfg.fillDefaults()
-	fig58, err := RunFig58(cfg.Fig58)
+	fig58, err := RunFig58(ctx, cfg.Fig58)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -180,7 +181,7 @@ func decodeMicroBlock(cfg DecodeConfig) (*relation.Schema, []relation.Tuple) {
 // arena-versus-allocating full-block decode, the flat-ordinal PhiSpan
 // walk against SearchBlock probing, and the BulkLoad/CountRange macro
 // workload shared with RunObs.
-func RunDecode(cfg DecodeConfig) (*DecodeResult, error) {
+func RunDecode(ctx context.Context, cfg DecodeConfig) (*DecodeResult, error) {
 	cfg.fillDefaults()
 	res := &DecodeResult{
 		Tuples:            cfg.Tuples,
@@ -285,14 +286,14 @@ func RunDecode(cfg DecodeConfig) (*DecodeResult, error) {
 			return nil, err
 		}
 		start := time.Now()
-		if err := tb.BulkLoad(tuples); err != nil {
+		if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 			return nil, err
 		}
 		l := time.Since(start)
 		dom := schema.Domain(0).Size
 		start = time.Now()
 		for i := 0; i < cfg.CountIters; i++ {
-			if _, _, err := tb.CountRange(0, dom/4, dom/2); err != nil {
+			if _, _, err := tb.CountRangeContext(ctx, 0, dom/4, dom/2); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestFig57SmallScale(t *testing.T) {
-	res, err := RunFig57(Fig57Config{TupleCounts: []int{3000}, Seed: 7})
+	res, err := RunFig57(context.Background(), Fig57Config{TupleCounts: []int{3000}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestFig57SmallScale(t *testing.T) {
 }
 
 func TestTimingSmallScale(t *testing.T) {
-	res, err := RunTiming(TimingConfig{Tuples: 5000, Repetitions: 2, Seed: 7})
+	res, err := RunTiming(context.Background(), TimingConfig{Tuples: 5000, Repetitions: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestTimingSmallScale(t *testing.T) {
 }
 
 func TestFig58SmallScale(t *testing.T) {
-	res, err := RunFig58(Fig58Config{Tuples: 4000, Seed: 7})
+	res, err := RunFig58(context.Background(), Fig58Config{Tuples: 4000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFig58SmallScale(t *testing.T) {
 }
 
 func TestFig59SmallScale(t *testing.T) {
-	res, err := RunFig59(Fig59Config{
+	res, err := RunFig59(context.Background(), Fig59Config{
 		Timing: TimingConfig{Tuples: 4000, Repetitions: 2, Seed: 7},
 		Fig58:  Fig58Config{Tuples: 4000, Seed: 7},
 	})
@@ -159,7 +160,7 @@ func TestFig59SmallScale(t *testing.T) {
 }
 
 func TestAblationSmallScale(t *testing.T) {
-	res, err := RunAblation(AblationConfig{Tuples: 3000, Seed: 7})
+	res, err := RunAblation(context.Background(), AblationConfig{Tuples: 3000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestAblationSmallScale(t *testing.T) {
 }
 
 func TestWordAlignedSchema(t *testing.T) {
-	res, err := RunFig57(Fig57Config{TupleCounts: []int{500}, Seed: 3})
+	res, err := RunFig57(context.Background(), Fig57Config{TupleCounts: []int{500}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestWordAlignedSchema(t *testing.T) {
 }
 
 func TestBlockSizeSweep(t *testing.T) {
-	res, err := RunBlockSize(BlockSizeConfig{Tuples: 3000, Sizes: []int{1024, 8192}, Seed: 7})
+	res, err := RunBlockSize(context.Background(), BlockSizeConfig{Tuples: 3000, Sizes: []int{1024, 8192}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestBlockSizeSweep(t *testing.T) {
 }
 
 func TestCPUSweep(t *testing.T) {
-	res, err := RunCPUSweep(CPUSweepConfig{
+	res, err := RunCPUSweep(context.Background(), CPUSweepConfig{
 		Fig58:    Fig58Config{Tuples: 3000, Seed: 7},
 		Speedups: []float64{0.1, 1, 10, 100},
 	})
@@ -281,7 +282,7 @@ func TestCPUSweep(t *testing.T) {
 }
 
 func TestUpdatesExperiment(t *testing.T) {
-	res, err := RunUpdates(UpdatesConfig{Tuples: 3000, Operations: 150, Seed: 7})
+	res, err := RunUpdates(context.Background(), UpdatesConfig{Tuples: 3000, Operations: 150, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestUpdatesExperiment(t *testing.T) {
 }
 
 func TestPipelineSmallScale(t *testing.T) {
-	res, err := RunPipeline(PipelineConfig{Tuples: 8000, Concurrency: 4, Seed: 7})
+	res, err := RunPipeline(context.Background(), PipelineConfig{Tuples: 8000, Concurrency: 4, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +344,7 @@ func TestPipelineSmallScale(t *testing.T) {
 }
 
 func TestPruningSmallScale(t *testing.T) {
-	res, err := RunPruning(PruningConfig{Tuples: 8000, Reps: 2, Seed: 7})
+	res, err := RunPruning(context.Background(), PruningConfig{Tuples: 8000, Reps: 2, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

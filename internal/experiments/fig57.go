@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -82,7 +83,7 @@ type Fig57Result struct {
 
 // blockCount loads tuples into a store with the given codec and returns
 // its block count.
-func blockCount(schema *relation.Schema, tuples []relation.Tuple, codec core.Codec, pageSize int) (int, error) {
+func blockCount(ctx context.Context, schema *relation.Schema, tuples []relation.Tuple, codec core.Codec, pageSize int) (int, error) {
 	pager, err := storage.NewMemPager(pageSize)
 	if err != nil {
 		return 0, err
@@ -95,7 +96,7 @@ func blockCount(schema *relation.Schema, tuples []relation.Tuple, codec core.Cod
 	if err != nil {
 		return 0, err
 	}
-	if _, err := store.BulkLoad(tuples); err != nil {
+	if _, err := store.BulkLoadContext(ctx, tuples); err != nil {
 		return 0, err
 	}
 	if err := pool.Flush(); err != nil {
@@ -124,7 +125,7 @@ func wordAlignedSchema(s *relation.Schema) (*relation.Schema, error) {
 // relation size, it measures the disk blocks required by the uncoded
 // relation (word-per-attribute), the byte-packed relation, and the
 // AVQ-coded relation, and reports the percentage reductions.
-func RunFig57(cfg Fig57Config) (*Fig57Result, error) {
+func RunFig57(ctx context.Context, cfg Fig57Config) (*Fig57Result, error) {
 	cfg.fillDefaults()
 	res := &Fig57Result{Tests: Fig57Tests(), MeanReduction: make(map[int]float64)}
 	for _, test := range res.Tests {
@@ -141,15 +142,15 @@ func RunFig57(cfg Fig57Config) (*Fig57Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			wordBlocks, err := blockCount(wordSchema, tuples, core.CodecRaw, cfg.PageSize)
+			wordBlocks, err := blockCount(ctx, wordSchema, tuples, core.CodecRaw, cfg.PageSize)
 			if err != nil {
 				return nil, err
 			}
-			packedBlocks, err := blockCount(schema, tuples, core.CodecRaw, cfg.PageSize)
+			packedBlocks, err := blockCount(ctx, schema, tuples, core.CodecRaw, cfg.PageSize)
 			if err != nil {
 				return nil, err
 			}
-			avqBlocks, err := blockCount(schema, tuples, core.CodecAVQ, cfg.PageSize)
+			avqBlocks, err := blockCount(ctx, schema, tuples, core.CodecAVQ, cfg.PageSize)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,7 +54,7 @@ type Fig58Result struct {
 // loadFig58Table loads the generated relation into a table with the given
 // codec, with secondary indexes on every attribute so each query has its
 // Figure 4.5 access path.
-func loadFig58Table(cfg Fig58Config, codec core.Codec, schema *relation.Schema, tuples []relation.Tuple) (*table.Table, error) {
+func loadFig58Table(ctx context.Context, cfg Fig58Config, codec core.Codec, schema *relation.Schema, tuples []relation.Tuple) (*table.Table, error) {
 	tb, err := table.Create(schema, table.Options{
 		Codec:          codec,
 		PageSize:       cfg.PageSize,
@@ -62,7 +63,7 @@ func loadFig58Table(cfg Fig58Config, codec core.Codec, schema *relation.Schema, 
 	if err != nil {
 		return nil, err
 	}
-	if err := tb.BulkLoad(tuples); err != nil {
+	if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 		return nil, err
 	}
 	return tb, nil
@@ -89,18 +90,18 @@ func fig58Range(spec gen.Spec, schema *relation.Schema, attr int) (lo, hi uint64
 // RunFig58 regenerates Figure 5.8: for every attribute k it executes
 // sigma_{a<=A_k<=b}(R) cold against both representations and reports N,
 // the number of data blocks accessed.
-func RunFig58(cfg Fig58Config) (*Fig58Result, error) {
+func RunFig58(ctx context.Context, cfg Fig58Config) (*Fig58Result, error) {
 	cfg.fillDefaults()
 	spec := gen.Spec38Byte(cfg.Tuples, true, cfg.Seed)
 	schema, tuples, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
-	raw, err := loadFig58Table(cfg, core.CodecRaw, schema, tuples)
+	raw, err := loadFig58Table(ctx, cfg, core.CodecRaw, schema, tuples)
 	if err != nil {
 		return nil, err
 	}
-	avq, err := loadFig58Table(cfg, core.CodecAVQ, schema, tuples)
+	avq, err := loadFig58Table(ctx, cfg, core.CodecAVQ, schema, tuples)
 	if err != nil {
 		return nil, err
 	}
@@ -112,14 +113,14 @@ func RunFig58(cfg Fig58Config) (*Fig58Result, error) {
 		if err := raw.DropCache(); err != nil {
 			return nil, err
 		}
-		_, rawStats, err := raw.SelectRange(attr, lo, hi)
+		_, rawStats, err := raw.SelectRangeContext(ctx, attr, lo, hi)
 		if err != nil {
 			return nil, err
 		}
 		if err := avq.DropCache(); err != nil {
 			return nil, err
 		}
-		_, avqStats, err := avq.SelectRange(attr, lo, hi)
+		_, avqStats, err := avq.SelectRangeContext(ctx, attr, lo, hi)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -80,13 +81,13 @@ var paperFig59 = map[string]struct {
 //	C2 = I + N(t1 + t3)   (uncompressed)
 //
 // for the three published 1995 machines and for this host.
-func RunFig59(cfg Fig59Config) (*Fig59Result, error) {
+func RunFig59(ctx context.Context, cfg Fig59Config) (*Fig59Result, error) {
 	cfg.fillDefaults()
-	timing, err := RunTiming(cfg.Timing)
+	timing, err := RunTiming(ctx, cfg.Timing)
 	if err != nil {
 		return nil, err
 	}
-	fig58, err := RunFig58(cfg.Fig58)
+	fig58, err := RunFig58(ctx, cfg.Fig58)
 	if err != nil {
 		return nil, err
 	}

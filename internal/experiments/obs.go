@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -77,7 +78,7 @@ const obsMaxOverheadPct = 5.0
 
 // runObsOnce loads the relation into a fresh table (optionally
 // instrumented) and times the load and a batch of CountRange queries.
-func runObsOnce(schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig, reg *obs.Registry) (load, count time.Duration, err error) {
+func runObsOnce(ctx context.Context, schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig, reg *obs.Registry) (load, count time.Duration, err error) {
 	tb, err := table.Create(schema,
 		table.WithCodec(core.CodecAVQ),
 		table.WithPageSize(cfg.PageSize),
@@ -88,7 +89,7 @@ func runObsOnce(schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig,
 		return 0, 0, err
 	}
 	start := time.Now()
-	if err := tb.BulkLoad(tuples); err != nil {
+	if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 		return 0, 0, err
 	}
 	load = time.Since(start)
@@ -96,7 +97,7 @@ func runObsOnce(schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig,
 	dom := schema.Domain(0).Size
 	start = time.Now()
 	for i := 0; i < cfg.CountIters; i++ {
-		if _, _, err := tb.CountRange(0, dom/4, dom/2); err != nil {
+		if _, _, err := tb.CountRangeContext(ctx, 0, dom/4, dom/2); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -107,7 +108,7 @@ func runObsOnce(schema *relation.Schema, tuples []relation.Tuple, cfg ObsConfig,
 // RunObs measures the observability layer's overhead on the two hot
 // workloads the acceptance gate names: BulkLoad and CountRange. Each
 // configuration runs cfg.Rounds times and the fastest round is kept.
-func RunObs(cfg ObsConfig) (*ObsResult, error) {
+func RunObs(ctx context.Context, cfg ObsConfig) (*ObsResult, error) {
 	cfg.fillDefaults()
 	spec := gen.Fig57Spec(cfg.Tuples, true, gen.VarianceLarge, cfg.Seed)
 	schema, tuples, err := spec.Build()
@@ -119,7 +120,7 @@ func RunObs(cfg ObsConfig) (*ObsResult, error) {
 	best := func(reg func() *obs.Registry) (load, count time.Duration, lastReg *obs.Registry, err error) {
 		for r := 0; r < cfg.Rounds; r++ {
 			thisReg := reg()
-			l, c, err := runObsOnce(schema, tuples, cfg, thisReg)
+			l, c, err := runObsOnce(ctx, schema, tuples, cfg, thisReg)
 			if err != nil {
 				return 0, 0, nil, err
 			}

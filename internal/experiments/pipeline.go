@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -95,7 +96,7 @@ func pipelineRelation(cfg PipelineConfig) (*relation.Schema, []relation.Tuple, e
 
 // runPipelineOnce loads and scans the relation once at the given
 // configuration, returning the store's page images for the identity check.
-func runPipelineOnce(schema *relation.Schema, tuples []relation.Tuple, pageSize int, cfg blockstore.Config) (PipelineRow, [][]byte, blockstore.CacheStats, error) {
+func runPipelineOnce(ctx context.Context, schema *relation.Schema, tuples []relation.Tuple, pageSize int, cfg blockstore.Config) (PipelineRow, [][]byte, blockstore.CacheStats, error) {
 	var row PipelineRow
 	pager, err := storage.NewMemPager(pageSize)
 	if err != nil {
@@ -113,7 +114,7 @@ func runPipelineOnce(schema *relation.Schema, tuples []relation.Tuple, pageSize 
 	rawMB := float64(len(tuples)*schema.RowSize()) / (1 << 20)
 
 	start := time.Now()
-	if _, err := store.BulkLoad(tuples); err != nil {
+	if _, err := store.BulkLoadContext(ctx, tuples); err != nil {
 		return row, nil, blockstore.CacheStats{}, err
 	}
 	load := time.Since(start)
@@ -122,7 +123,7 @@ func runPipelineOnce(schema *relation.Schema, tuples []relation.Tuple, pageSize 
 	// it is enabled. MB/s is per pass.
 	start = time.Now()
 	for pass := 0; pass < 2; pass++ {
-		if err := store.ScanBlocks(func(storage.PageID, []relation.Tuple) bool { return true }); err != nil {
+		if err := store.ScanBlocksContext(ctx, func(storage.PageID, []relation.Tuple) bool { return true }); err != nil {
 			return row, nil, blockstore.CacheStats{}, err
 		}
 	}
@@ -160,7 +161,7 @@ func runPipelineOnce(schema *relation.Schema, tuples []relation.Tuple, pageSize 
 // RunPipeline benchmarks bulk load and full scans through the serial
 // reference path and the worker-pool pipeline, and verifies the two
 // produce byte-identical block layouts.
-func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
 	cfg.fillDefaults()
 	schema, tuples, err := pipelineRelation(cfg)
 	if err != nil {
@@ -172,11 +173,11 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		RawMB:       float64(len(tuples)*schema.RowSize()) / (1 << 20),
 		Concurrency: cfg.Concurrency,
 	}
-	serial, serialImages, _, err := runPipelineOnce(schema, tuples, cfg.PageSize, blockstore.Config{})
+	serial, serialImages, _, err := runPipelineOnce(ctx, schema, tuples, cfg.PageSize, blockstore.Config{})
 	if err != nil {
 		return nil, err
 	}
-	par, parImages, cache, err := runPipelineOnce(schema, tuples, cfg.PageSize, blockstore.Config{
+	par, parImages, cache, err := runPipelineOnce(ctx, schema, tuples, cfg.PageSize, blockstore.Config{
 		Concurrency: cfg.Concurrency,
 		CacheBlocks: cfg.CacheBlocks,
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -76,7 +77,7 @@ type PruningResult struct {
 // partial decodes buy on clustered range queries of varying selectivity,
 // against the old read path (decode every block, filter). Every variant is
 // checked to return the same number of matches.
-func RunPruning(cfg PruningConfig) (*PruningResult, error) {
+func RunPruning(ctx context.Context, cfg PruningConfig) (*PruningResult, error) {
 	cfg.fillDefaults()
 	schema, tuples, err := pipelineRelation(PipelineConfig{Tuples: cfg.Tuples, Seed: cfg.Seed})
 	if err != nil {
@@ -94,7 +95,7 @@ func RunPruning(cfg PruningConfig) (*PruningResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := store.BulkLoad(tuples); err != nil {
+	if _, err := store.BulkLoadContext(ctx, tuples); err != nil {
 		return nil, err
 	}
 	res := &PruningResult{
@@ -115,7 +116,7 @@ func RunPruning(cfg PruningConfig) (*PruningResult, error) {
 			lo = domain - width
 		}
 		hi := lo + width - 1
-		row, err := runPruningQuery(store, sel, lo, hi, cfg.Reps)
+		row, err := runPruningQuery(ctx, store, sel, lo, hi, cfg.Reps)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +126,7 @@ func RunPruning(cfg PruningConfig) (*PruningResult, error) {
 }
 
 // runPruningQuery times the three read paths on one range.
-func runPruningQuery(store *blockstore.Store, sel float64, lo, hi uint64, reps int) (PruningRow, error) {
+func runPruningQuery(ctx context.Context, store *blockstore.Store, sel float64, lo, hi uint64, reps int) (PruningRow, error) {
 	row := PruningRow{Selectivity: sel, Lo: lo, Hi: hi}
 	plan := exec.Plan{Preds: []exec.Pred{{Attr: 0, Lo: lo, Hi: hi}}}
 
@@ -135,6 +136,9 @@ func runPruningQuery(store *blockstore.Store, sel float64, lo, hi uint64, reps i
 		defer sn.Release()
 		matches := 0
 		for i := 0; i < sn.NumBlocks(); i++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			ts, _, err := sn.ReadBlock(i)
 			if err != nil {
 				return 0, err
@@ -154,14 +158,14 @@ func runPruningQuery(store *blockstore.Store, sel float64, lo, hi uint64, reps i
 	// Fence pruning with full decodes only.
 	fencePlan := plan
 	fencePlan.NoPartial = true
-	fence, fenceMatches, err := timeExec(store, fencePlan, reps, nil)
+	fence, fenceMatches, err := timeExec(ctx, store, fencePlan, reps, nil)
 	if err != nil {
 		return row, err
 	}
 
 	// The full executor: pruning plus partial decodes.
 	var st exec.Stats
-	partial, partialMatches, err := timeExec(store, plan, reps, &st)
+	partial, partialMatches, err := timeExec(ctx, store, plan, reps, &st)
 	if err != nil {
 		return row, err
 	}
@@ -190,12 +194,12 @@ func runPruningQuery(store *blockstore.Store, sel float64, lo, hi uint64, reps i
 // timeExec times reps executor passes of one plan, returning the mean
 // per-pass milliseconds and the match count; the last pass's stats land in
 // out when non-nil.
-func timeExec(store *blockstore.Store, plan exec.Plan, reps int, out *exec.Stats) (float64, int, error) {
+func timeExec(ctx context.Context, store *blockstore.Store, plan exec.Plan, reps int, out *exec.Stats) (float64, int, error) {
 	return timePasses(reps, func() (int, error) {
 		sn := store.Snapshot()
 		defer sn.Release()
 		matches := 0
-		st, err := exec.Run(sn, plan, func(relation.Tuple) bool {
+		st, err := exec.RunContext(ctx, sn, plan, func(relation.Tuple) bool {
 			matches++
 			return true
 		})

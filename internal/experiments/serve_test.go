@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestServeSmallScale(t *testing.T) {
+	res, err := RunServe(context.Background(), ServeConfig{
+		Tuples: 4000, Requests: 300, Concurrency: 4, Rounds: 2, OverheadIters: 20, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	if res.Writes == 0 {
+		t.Fatal("workload issued no mutations")
+	}
+	if res.P50Millis <= 0 || res.P99Millis < res.P50Millis {
+		t.Fatalf("implausible percentiles: p50 %.3f p99 %.3f", res.P50Millis, res.P99Millis)
+	}
+	// The saturation phase must shed load without losing any request.
+	if !res.OverloadPass {
+		t.Fatalf("overload gate failed: %d ok + %d rejected of %d",
+			res.OverloadOK, res.OverloadRejected, res.OverloadRequests)
+	}
+	if !res.DrainPass {
+		t.Fatal("drain left pins or snapshots behind")
+	}
+	// The overhead gate is wall-clock-sensitive, so the test only checks
+	// the measurement is sane; the CI gate in benchgate.sh enforces 5%.
+	if res.DirectMicros <= 0 || res.LimitedMicros <= 0 {
+		t.Fatalf("degenerate overhead measurement: %+v", res)
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Query server (A10)") {
+		t.Fatal("report missing title")
+	}
+	sb.Reset()
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"\"p99_ms\"", "\"admission_overhead_pct\"", "\"pass\""} {
+		if !strings.Contains(sb.String(), key) {
+			t.Fatalf("JSON record missing %s", key)
+		}
+	}
+}

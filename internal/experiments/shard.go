@@ -149,10 +149,8 @@ func shardScanOnce(ctx context.Context, db *shard.DB, domain uint64, want int) (
 // RunShard measures the φ-range sharding layer: scan scaling over shard
 // counts, catalog pruning versus fence pruning at ~1% selectivity, and
 // the allocation-free count path.
-func RunShard(cfg ShardConfig) (*ShardResult, error) {
+func RunShard(ctx context.Context, cfg ShardConfig) (*ShardResult, error) {
 	cfg.fillDefaults()
-	//avqlint:ignore ctxflow benchmark driver: the measured workload has no caller context
-	ctx := context.Background()
 
 	schema := shardBenchSchema()
 	domain := schema.Domain(0).Size
@@ -246,11 +244,11 @@ func RunShard(cfg ShardConfig) (*ShardResult, error) {
 		return nil, err
 	}
 	defer tb.Close()
-	if err := tb.BulkLoad(tuples); err != nil {
+	if err := tb.BulkLoadContext(ctx, tuples); err != nil {
 		return nil, err
 	}
 	res.CountAllocsPerOp = allocsPerOp(100, func() {
-		if _, _, err := tb.CountRange(0, domain/4, domain/2); err != nil {
+		if _, _, err := tb.CountRangeContext(ctx, 0, domain/4, domain/2); err != nil {
 			panic(err)
 		}
 	})

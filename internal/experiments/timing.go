@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -76,7 +77,7 @@ func packRuns(schema *relation.Schema, tuples []relation.Tuple, codec core.Codec
 // paper does), then times AVQ coding and decoding of every block,
 // averaged over the configured repetitions. Extraction time t3 is measured
 // the same way over the uncoded representation.
-func RunTiming(cfg TimingConfig) (*TimingResult, error) {
+func RunTiming(ctx context.Context, cfg TimingConfig) (*TimingResult, error) {
 	cfg.fillDefaults()
 	schema, tuples, err := gen.Spec38Byte(cfg.Tuples, false, cfg.Seed).Build()
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -59,7 +60,7 @@ type UpdatesResult struct {
 
 // RunUpdates measures per-operation wall time for Insert, Delete, and
 // InsertBatch on the Section 5.2 relation under each representation.
-func RunUpdates(cfg UpdatesConfig) (*UpdatesResult, error) {
+func RunUpdates(ctx context.Context, cfg UpdatesConfig) (*UpdatesResult, error) {
 	cfg.fillDefaults()
 	spec := gen.Spec38Byte(cfg.Tuples, false, cfg.Seed)
 	schema, base, err := spec.Build()
@@ -80,14 +81,14 @@ func RunUpdates(cfg UpdatesConfig) (*UpdatesResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := tb.BulkLoad(base); err != nil {
+		if err := tb.BulkLoadContext(ctx, base); err != nil {
 			return nil, err
 		}
 		row := UpdatesRow{Codec: codec, Blocks: tb.NumBlocks()}
 
 		start := time.Now()
 		for _, tu := range inserts {
-			if err := tb.Insert(tu); err != nil {
+			if err := tb.InsertContext(ctx, tu); err != nil {
 				return nil, err
 			}
 		}
@@ -95,14 +96,14 @@ func RunUpdates(cfg UpdatesConfig) (*UpdatesResult, error) {
 
 		start = time.Now()
 		for _, tu := range inserts {
-			if _, err := tb.Delete(tu); err != nil {
+			if _, err := tb.DeleteContext(ctx, tu); err != nil {
 				return nil, err
 			}
 		}
 		row.DeletePerOp = time.Since(start) / time.Duration(cfg.Operations)
 
 		start = time.Now()
-		if err := tb.InsertBatch(inserts); err != nil {
+		if err := tb.InsertBatchContext(ctx, inserts); err != nil {
 			return nil, err
 		}
 		row.BatchPerOp = time.Since(start) / time.Duration(cfg.Operations)

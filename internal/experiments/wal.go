@@ -125,7 +125,7 @@ func runWALOnce(cfg WALConfig, schema *relation.Schema, shards [][]relation.Tupl
 // RunWAL measures group commit against naive per-write fsync (A8). Both
 // runs use the same concurrency and the same disk model; only the commit
 // policy differs, so the ratio isolates the fsync batching.
-func RunWAL(cfg WALConfig) (*WALResult, error) {
+func RunWAL(ctx context.Context, cfg WALConfig) (*WALResult, error) {
 	cfg.fillDefaults()
 	spec := gen.Fig57Spec(cfg.Tuples, true, gen.VarianceLarge, cfg.Seed)
 	schema, tuples, err := spec.Build()

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control: a token-bucket concurrency limiter with separate
+// read and write lanes. Each lane owns a fixed number of execution
+// tokens (the bucket; tokens return to it on release, which is the
+// refill) and a bounded wait queue in front of it. A request either
+// takes a token immediately, waits in the queue until one frees or its
+// deadline fires, or — when the queue is at its cap — is rejected with
+// ErrOverload, which the HTTP layer turns into 429 + Retry-After.
+//
+// The cap is the backpressure: under saturation the server sheds load in
+// O(1) instead of accumulating goroutines until memory or the listener
+// backlog gives out. Reads and writes are separate lanes so a burst of
+// heavy scans cannot starve the (lock-serialized, group-committed) write
+// path, and vice versa.
+
+// Limits sizes the two lanes. Zero values take defaults scaled to
+// GOMAXPROCS.
+type Limits struct {
+	// ReadSlots is the concurrent read-execution cap (default 2×GOMAXPROCS).
+	ReadSlots int
+	// WriteSlots is the concurrent write-execution cap (default
+	// GOMAXPROCS; writers also serialize on the engine's mutation lock,
+	// so deeper lanes only add queueing).
+	WriteSlots int
+	// ReadQueue / WriteQueue cap how many admitted-but-waiting requests a
+	// lane holds before rejecting (defaults: 4× the lane's slots).
+	ReadQueue  int
+	WriteQueue int
+}
+
+func (l Limits) withDefaults() Limits {
+	cpus := runtime.GOMAXPROCS(0)
+	if l.ReadSlots <= 0 {
+		l.ReadSlots = 2 * cpus
+	}
+	if l.WriteSlots <= 0 {
+		l.WriteSlots = cpus
+	}
+	if l.ReadQueue <= 0 {
+		l.ReadQueue = 4 * l.ReadSlots
+	}
+	if l.WriteQueue <= 0 {
+		l.WriteQueue = 4 * l.WriteSlots
+	}
+	return l
+}
+
+// lane is one token bucket plus its bounded wait queue and instruments.
+type lane struct {
+	name     string
+	tokens   chan struct{} // buffered to the slot cap; a send is an acquire
+	queued   atomic.Int64
+	maxQueue int64
+
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	queueWait  *obs.Histogram
+	admitted   *obs.Counter
+	rejects    *obs.Counter
+}
+
+func newLane(name string, slots, queue int, reg *obs.Registry) *lane {
+	return &lane{
+		name:       name,
+		tokens:     make(chan struct{}, slots),
+		maxQueue:   int64(queue),
+		inflight:   reg.Gauge("server." + name + "_inflight"),
+		queueDepth: reg.Gauge("server." + name + "_queued"),
+		queueWait:  reg.Histogram("server." + name + "_queue_wait"),
+		admitted:   reg.Counter("server." + name + "_admitted"),
+		rejects:    reg.Counter("server." + name + "_rejects"),
+	}
+}
+
+// acquire admits one request, returning its release func. It fails with
+// ErrOverload when the wait queue is full, or the ctx error when the
+// request's deadline fires while queued.
+func (ln *lane) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case ln.tokens <- struct{}{}:
+		ln.admitted.Inc()
+		ln.inflight.Add(1)
+		return ln.release, nil
+	default:
+	}
+	if ln.queued.Add(1) > ln.maxQueue {
+		ln.queued.Add(-1)
+		ln.rejects.Inc()
+		return nil, fmt.Errorf("%w: %s lane queue full", ErrOverload, ln.name)
+	}
+	ln.queueDepth.Add(1)
+	start := time.Now()
+	defer func() {
+		ln.queued.Add(-1)
+		ln.queueDepth.Add(-1)
+		ln.queueWait.Observe(time.Since(start))
+	}()
+	select {
+	case ln.tokens <- struct{}{}:
+		ln.admitted.Inc()
+		ln.inflight.Add(1)
+		return ln.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (ln *lane) release() {
+	<-ln.tokens
+	ln.inflight.Add(-1)
+}
+
+// Limiter is the two-lane admission controller.
+type Limiter struct {
+	read, write *lane
+}
+
+// NewLimiter builds a limiter, resolving its instruments from reg (nil
+// reg keeps the lanes un-instrumented; the hot path then pays only
+// nil-receiver checks).
+func NewLimiter(lim Limits, reg *obs.Registry) *Limiter {
+	lim = lim.withDefaults()
+	return &Limiter{
+		read:  newLane("read", lim.ReadSlots, lim.ReadQueue, reg),
+		write: newLane("write", lim.WriteSlots, lim.WriteQueue, reg),
+	}
+}
+
+// AcquireRead admits one read.
+func (l *Limiter) AcquireRead(ctx context.Context) (func(), error) {
+	return l.read.acquire(ctx)
+}
+
+// AcquireWrite admits one write.
+func (l *Limiter) AcquireWrite(ctx context.Context) (func(), error) {
+	return l.write.acquire(ctx)
+}
+
+// Inflight reports the currently executing (admitted) request count per
+// lane; the drain path polls it and tests assert it returns to zero.
+func (l *Limiter) Inflight() (reads, writes int) {
+	return len(l.read.tokens), len(l.write.tokens)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimitsDefaults(t *testing.T) {
+	l := Limits{}.withDefaults()
+	if l.ReadSlots <= 0 || l.WriteSlots <= 0 || l.ReadQueue <= 0 || l.WriteQueue <= 0 {
+		t.Fatalf("defaults left a zero field: %+v", l)
+	}
+	if l.ReadQueue < l.ReadSlots || l.WriteQueue < l.WriteSlots {
+		t.Fatalf("queue smaller than its lane: %+v", l)
+	}
+	keep := Limits{ReadSlots: 3, WriteSlots: 2, ReadQueue: 5, WriteQueue: 7}
+	if got := keep.withDefaults(); got != keep {
+		t.Fatalf("explicit limits rewritten: %+v", got)
+	}
+}
+
+// TestLaneOverload saturates a 1-slot, 1-deep lane: the holder executes,
+// one waiter queues, and the next arrival is shed with ErrOverload — the
+// queue is a hard cap, not a suggestion.
+func TestLaneOverload(t *testing.T) {
+	lim := NewLimiter(Limits{ReadSlots: 1, ReadQueue: 1, WriteSlots: 1, WriteQueue: 1}, nil)
+	ctx := context.Background()
+
+	release, err := lim.AcquireRead(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterCtx, waiterCancel := context.WithCancel(ctx)
+	defer waiterCancel()
+	waiterIn := make(chan error, 1)
+	go func() {
+		rel, err := lim.AcquireRead(waiterCtx)
+		if err == nil {
+			rel()
+		}
+		waiterIn <- err
+	}()
+	// Wait until the waiter is actually queued before probing the cap.
+	for i := 0; lim.read.queued.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := lim.AcquireRead(ctx); !errors.Is(err, ErrOverload) {
+		t.Fatalf("third acquire: got %v, want ErrOverload", err)
+	}
+
+	// Writes are a separate lane: read saturation must not touch them.
+	wrel, err := lim.AcquireWrite(ctx)
+	if err != nil {
+		t.Fatalf("write lane starved by read saturation: %v", err)
+	}
+	wrel()
+
+	// Releasing the holder admits the queued waiter.
+	release()
+	select {
+	case err := <-waiterIn:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release did not wake the queued waiter")
+	}
+}
+
+// TestLaneDeadlineWhileQueued holds the only token and queues a waiter
+// with a short deadline: the waiter must fail with DeadlineExceeded (the
+// 504 path), and its queue slot must be returned.
+func TestLaneDeadlineWhileQueued(t *testing.T) {
+	lim := NewLimiter(Limits{ReadSlots: 1, ReadQueue: 2, WriteSlots: 1, WriteQueue: 1}, nil)
+	release, err := lim.AcquireRead(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := lim.AcquireRead(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued waiter past deadline: got %v, want DeadlineExceeded", err)
+	}
+	if got := HTTPStatus(context.DeadlineExceeded); got != 504 {
+		t.Fatalf("deadline status = %d, want 504", got)
+	}
+	if n := lim.read.queued.Load(); n != 0 {
+		t.Fatalf("abandoned waiter left queue count at %d", n)
+	}
+}
+
+func TestInflightCounts(t *testing.T) {
+	lim := NewLimiter(Limits{ReadSlots: 2, ReadQueue: 2, WriteSlots: 1, WriteQueue: 1}, nil)
+	ctx := context.Background()
+	r1, _ := lim.AcquireRead(ctx)
+	r2, _ := lim.AcquireRead(ctx)
+	w1, _ := lim.AcquireWrite(ctx)
+	if r, w := lim.Inflight(); r != 2 || w != 1 {
+		t.Fatalf("Inflight = (%d,%d), want (2,1)", r, w)
+	}
+	r1()
+	r2()
+	w1()
+	if r, w := lim.Inflight(); r != 0 || w != 0 {
+		t.Fatalf("after release Inflight = (%d,%d), want (0,0)", r, w)
+	}
+}

@@ -49,6 +49,33 @@ func (s *Sync) PhiBounds() (lo, hi uint64, ok bool) {
 	return s.t.PhiBounds()
 }
 
+// Schema returns the table's schema (immutable after creation).
+func (s *Sync) Schema() *relation.Schema { return s.t.Schema() }
+
+// PinnedFrames reports the buffer pool's currently pinned frame count —
+// 0 when no operation is mid-flight, which the server's graceful-drain
+// path asserts after shutdown.
+func (s *Sync) PinnedFrames() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.PinnedFrames()
+}
+
+// LiveSnapshots reports how many manifest snapshots are still held.
+func (s *Sync) LiveSnapshots() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.LiveSnapshots()
+}
+
+// Check runs the deep invariant validator under an exclusive lock (it
+// walks every block, so concurrent mutations must pause).
+func (s *Sync) Check() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Check()
+}
+
 // SelectRange runs sigma_{lo<=A_attr<=hi}(R): planned under a shared
 // lock, executed against the pinned snapshot without it.
 func (s *Sync) SelectRange(attr int, lo, hi uint64) ([]relation.Tuple, QueryStats, error) {

@@ -775,6 +775,11 @@ func (t *Table) ScanContext(ctx context.Context, fn func(relation.Tuple) bool) e
 	return err
 }
 
+// Check verifies the whole table. It is the name the server's Engine
+// seam uses: table.Table, table.Sync, and shard.DB all answer Check()
+// with their deepest self-validation pass.
+func (t *Table) Check() error { return t.CheckInvariants() }
+
 // CheckInvariants verifies the whole table: store layout, index trees, the
 // agreement of the primary index with block firsts, secondary bucket
 // counts against actual block contents, and the tuple count.

@@ -151,3 +151,36 @@ if [ "$shard_pass" != "true" ]; then
 fi
 
 echo "benchgate: PASS (shard scale_pass=$shard_scale prune_pass=$shard_prune alloc_pass=$shard_alloc)"
+
+# -- query-server gate -------------------------------------------------------
+# The serve experiment carries its own absolute gates: end-to-end p99 under
+# the (generous) 250ms ceiling, admission control shedding load with 429s
+# under saturation without losing a request, the token-bucket handoff
+# costing <= 5% of a representative block-visiting query, and a drain that
+# leaves zero pinned frames and live snapshots. All are ratios or absolute
+# bounds on one host, so no cross-host baseline comparison is needed.
+if [ -f BENCH_serve.json ]; then
+    cp BENCH_serve.json "$tmpdir/serve-baseline.json"
+fi
+
+echo "== benchgate: running avqbench -exp serve"
+go run ./cmd/avqbench -exp serve
+
+serve_pass=$(jget BENCH_serve.json pass)
+serve_p99=$(jget BENCH_serve.json p99_ms)
+serve_lat=$(jget BENCH_serve.json latency_pass)
+serve_over=$(jget BENCH_serve.json overload_pass)
+serve_adm=$(jget BENCH_serve.json admission_overhead_pct)
+serve_ovh=$(jget BENCH_serve.json overhead_pass)
+serve_drain=$(jget BENCH_serve.json drain_pass)
+
+if [ -f "$tmpdir/serve-baseline.json" ]; then
+    cp "$tmpdir/serve-baseline.json" BENCH_serve.json
+fi
+
+if [ "$serve_pass" != "true" ]; then
+    echo "benchgate: serve gates failed (latency_pass=$serve_lat p99=${serve_p99}ms overload_pass=$serve_over overhead_pass=$serve_ovh overhead=${serve_adm}% drain_pass=$serve_drain)" >&2
+    exit 1
+fi
+
+echo "benchgate: PASS (serve p99 ${serve_p99}ms, admission overhead ${serve_adm}%, overload_pass=$serve_over drain_pass=$serve_drain)"

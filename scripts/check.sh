@@ -39,6 +39,6 @@ echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/buffer ./internal/table ./internal/simdisk \
     ./internal/blockstore ./internal/extsort ./internal/exec ./internal/obs \
     ./internal/core ./internal/analysis ./internal/wal \
-    ./internal/backend ./internal/shard
+    ./internal/backend ./internal/shard ./internal/server
 
 echo "check.sh: all gates passed"
