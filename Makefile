@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal bench-shard bench-serve benchgate crash
+.PHONY: check test race lint lint-baseline build fmt bench-pruning bench-obs bench-decode bench-wal bench-shard bench-serve bench-join benchgate crash
 
 check:
 	sh scripts/check.sh
@@ -45,6 +45,9 @@ bench-shard:
 
 bench-serve:
 	$(GO) run ./cmd/avqbench -exp serve
+
+bench-join:
+	$(GO) run ./cmd/avqbench -exp join
 
 lint:
 	$(GO) vet ./...

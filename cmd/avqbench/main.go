@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, wal, shard, serve, or all")
+		exp      = flag.String("exp", "all", "experiment: fig5.7, fig5.8, fig5.9, timing, ablation, blocksize, cpusweep, updates, pipeline, pruning, obs, decode, join, wal, shard, serve, or all")
 		tuples   = flag.Int("tuples", 0, "override relation size (0 = per-experiment default)")
 		reps     = flag.Int("reps", 0, "timing repetitions (0 = paper's 100)")
 		pageSize = flag.Int("pagesize", 0, "block size in bytes (0 = paper's 8192)")
@@ -153,6 +153,17 @@ func run(ctx context.Context, exp string, tuples, reps, pageSize int, seed int64
 				return err
 			}
 			return writeBenchJSON("BENCH_decode.json", r)
+		case "join":
+			r, err := experiments.RunJoin(ctx, experiments.JoinConfig{
+				Tuples: tuples, PageSize: pageSize, Rounds: reps, Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := r.WriteText(out); err != nil {
+				return err
+			}
+			return writeBenchJSON("BENCH_join.json", r)
 		case "shard":
 			r, err := experiments.RunShard(ctx, experiments.ShardConfig{
 				Tuples: tuples, PageSize: pageSize, Rounds: reps, Seed: seed,
@@ -203,7 +214,7 @@ func run(ctx context.Context, exp string, tuples, reps, pageSize int, seed int64
 	if exp != "all" {
 		return runOne(exp)
 	}
-	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "wal", "shard", "serve"} {
+	for i, name := range []string{"fig5.7", "timing", "fig5.8", "fig5.9", "ablation", "blocksize", "cpusweep", "updates", "pipeline", "pruning", "obs", "decode", "join", "wal", "shard", "serve"} {
 		if i > 0 {
 			sep()
 		}

@@ -11,6 +11,8 @@
 //	avqdb query   -db file -attr 0 -lo 3 -hi 4 [-limit 20]
 //	avqdb count   -db file -attr 0 -lo 3 -hi 4
 //	avqdb agg     -db file -attr 0 -lo 3 -hi 4 -agg 2
+//	avqdb groupby -db file -attr 0 -lo 3 -hi 4 -group 1 -agg 2
+//	avqdb join    -db file -with other.avq [-limit 20]
 //	avqdb explain -db file -attr 0 -lo 3 -hi 4
 //	avqdb compact -db file
 //	avqdb stats   -db file [-live]
@@ -84,7 +86,9 @@ func main() {
 		lo        = fs.Uint64("lo", 0, "query/count: lower bound")
 		hi        = fs.Uint64("hi", 0, "query/count: upper bound")
 		limit     = fs.Int("limit", 20, "query: max rows to print")
-		aggAttr   = fs.Int("agg", 0, "agg: attribute to aggregate")
+		aggAttr   = fs.Int("agg", 0, "agg/groupby: attribute to aggregate")
+		groupAttr = fs.Int("group", 0, "groupby: attribute to group by")
+		with      = fs.String("with", "", "join: right-hand table file")
 		live      = fs.Bool("live", false, "stats: replay a workload against an instrumented table and print the metrics registry")
 		listen    = fs.String("listen", "localhost:6060", "serve: debug endpoint listen address")
 		slowMs    = fs.Int("slowms", 50, "serve: slow-op log threshold in milliseconds")
@@ -103,6 +107,7 @@ func main() {
 		db:  *db, schema: *schemaStr, codec: *codecName, index: *indexStr,
 		hash: *useHash, in: *in, tuple: *tupleStr,
 		attr: *attr, lo: *lo, hi: *hi, limit: *limit, aggAttr: *aggAttr,
+		group: *groupAttr, with: *with,
 		live: *live, listen: *listen, slowMs: *slowMs,
 	})
 	if err != nil {
@@ -114,15 +119,16 @@ func main() {
 type args struct {
 	sub                                 string
 	db, schema, codec, index, in, tuple string
+	with                                string
 	hash, live                          bool
-	attr, aggAttr                       int
+	attr, aggAttr, group                int
 	lo, hi                              uint64
 	limit, slowMs                       int
 	listen                              string
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|explain|compact|stats|verify|wal|serve|shard -db FILE [flags]")
+	fmt.Fprintln(os.Stderr, "usage: avqdb create|load|insert|delete|query|count|agg|groupby|join|explain|compact|stats|verify|wal|serve|shard -db FILE [flags]")
 }
 
 func run(ctx context.Context, cmd string, a args) error {
@@ -139,6 +145,10 @@ func run(ctx context.Context, cmd string, a args) error {
 		return count(ctx, a)
 	case "agg":
 		return agg(ctx, a)
+	case "groupby":
+		return groupBy(ctx, a)
+	case "join":
+		return joinCmd(ctx, a)
 	case "explain":
 		return explain(a)
 	case "compact":
@@ -368,10 +378,15 @@ func query(ctx context.Context, a args) error {
 
 // pathLine renders a query's access-path counters: the I/O split between
 // disk reads and cache hits, the blocks the φ-fences pruned, and how many
-// reads decoded only a span of the block.
+// reads decoded only a span of the block. Queries that ran on the
+// columnar batch executor also report the slabs and the rows they held.
 func pathLine(st *server.StatsJSON, total int) string {
-	return fmt.Sprintf("%s path: %d of %d blocks read (%d from cache), %d pruned by fence, %d partial decodes",
+	line := fmt.Sprintf("%s path: %d of %d blocks read (%d from cache), %d pruned by fence, %d partial decodes",
 		st.Strategy, st.BlocksRead, total, st.CacheHits, st.BlocksPruned, st.PartialDecodes)
+	if st.BatchBlocks > 0 {
+		line += fmt.Sprintf("; batch: %d slabs, %d rows", st.BatchBlocks, st.SlabRows)
+	}
+	return line
 }
 
 func count(ctx context.Context, a args) error {
@@ -396,6 +411,63 @@ func agg(ctx context.Context, a args) error {
 	res := resp.Agg
 	fmt.Printf("count=%d sum=%d min=%d max=%d (attr %d over %d<=A%d<=%d; %s)\n",
 		res.Count, res.Sum, res.Min, res.Max, a.aggAttr, a.lo, a.attr+1, a.hi, pathLine(resp.Stats, blocks))
+	return nil
+}
+
+func groupBy(ctx context.Context, a args) error {
+	resp, blocks, err := runQuery(ctx, a, server.QueryRequest{
+		Op: server.OpGroupBy, Attr: a.attr, Lo: a.lo, Hi: a.hi,
+		GroupAttr: a.group, AggAttr: a.aggAttr, Stats: true,
+	})
+	if err != nil {
+		return err
+	}
+	for _, g := range resp.Groups {
+		fmt.Printf("A%d=%d: count=%d sum=%d min=%d max=%d\n",
+			a.group+1, g.Value, g.Agg.Count, g.Agg.Sum, g.Agg.Min, g.Agg.Max)
+	}
+	fmt.Printf("%d groups over %d rows via %s\n", len(resp.Groups), resp.Count, pathLine(resp.Stats, blocks))
+	return nil
+}
+
+// joinCmd merge-joins the -db table with the -with table on both
+// clustering attributes, printing a row count and the join's access-path
+// accounting: per-side I/O, fence-level pruning from the sparse-key
+// seeks, and the columnar slab counters.
+func joinCmd(ctx context.Context, a args) error {
+	if a.with == "" {
+		return fmt.Errorf("join needs -with")
+	}
+	left, err := openDB(a)
+	if err != nil {
+		return err
+	}
+	defer left.Close()
+	right, err := table.Open(a.with, table.Options{})
+	if err != nil {
+		return err
+	}
+	defer right.Close()
+	rows := 0
+	st, err := table.MergeJoinEachContext(ctx, left, right, func(row table.JoinRow) bool {
+		rows++
+		if rows <= a.limit {
+			fmt.Printf("%v ⋈ %v\n", row.Left, row.Right)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if rows > a.limit {
+		fmt.Printf("... and %d more\n", rows-a.limit)
+	}
+	fmt.Printf("%d join rows; left %d blocks read (%d from cache), right %d blocks read (%d from cache), %d pruned by fence",
+		st.Matches, st.LeftBlocks, st.LeftCacheHits, st.RightBlocks, st.RightCacheHits, st.BlocksPruned)
+	if st.BatchBlocks > 0 {
+		fmt.Printf("; batch: %d slabs, %d rows", st.BatchBlocks, st.SlabRows)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -59,11 +59,14 @@ func TestAnalyzersGolden(t *testing.T) {
 		{
 			rule: "arenaescape",
 			want: []string{
-				`arenaescape.go:24:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
-				`arenaescape.go:34:12: slab-backed tuple "ts" (from DecodeTupleSpanArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
-				`arenaescape.go:41:11: slab-backed tuple "tu" (from Arena.Tuple) sent on a channel; arena memory is recycled on Reset — Clone() it first`,
-				`arenaescape.go:51:11: slab-backed tuple "u" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
-				`arenaescape.go:68:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:25:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:35:12: slab-backed tuple "ts" (from DecodeTupleSpanArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:42:11: slab-backed tuple "tu" (from Arena.Tuple) sent on a channel; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:52:11: slab-backed tuple "u" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:69:12: slab-backed tuple "ts" (from DecodeBlockArena) stored into a field; arena memory is recycled on Reset — Clone() it first`,
+				`arenaescape.go:146:11: arena-backed φ slab "phis" (from ReadPhis) stored into a field; arena memory is recycled on Reset — copy the ordinals out first`,
+				`arenaescape.go:157:11: arena-backed φ slab "tail" (from DecodeBlockPhis) stored into a field; arena memory is recycled on Reset — copy the ordinals out first`,
+				`arenaescape.go:164:11: arena-backed φ slab "phis" (from Arena.Phis) sent on a channel; arena memory is recycled on Reset — copy the ordinals out first`,
 			},
 		},
 		{

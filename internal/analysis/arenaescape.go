@@ -25,7 +25,10 @@ const relationPkg = "internal/relation"
 // recycled on the next Arena.Reset, so the tuples are only valid for
 // transient use. Storing one into a struct field or sending it on a
 // channel without an explicit Clone() silently retains memory a later
-// decode will overwrite.
+// decode will overwrite. The batch executor's φ-slab reads
+// (core.DecodeBlockPhis, Arena.Phis, Snapshot.ReadPhis) carve raw
+// []uint64 ordinal slabs from the same arenas and are tracked the same
+// way, with copy-out instead of Clone as the fix.
 //
 // It supersedes the old arenaalias rule with a type-aware, flow-sensitive
 // taint analysis over the CFG: only variables whose static type is
@@ -142,9 +145,13 @@ func analyzeArenaFunc(pass *Pass, fd *ast.FuncDecl) {
 		f := flow.Clone(res.In[b])
 		for _, n := range b.Nodes {
 			transferTaintNode(pass, index, n, f, func(e ast.Expr, varName, src, how string) {
+				noun, fix := "slab-backed tuple", "Clone() it first"
+				if phiSource(src) {
+					noun, fix = "arena-backed φ slab", "copy the ordinals out first"
+				}
 				pass.Report(e.Pos(),
-					"slab-backed tuple %q (from %s) %s; arena memory is recycled on Reset — Clone() it first",
-					varName, src, how)
+					"%s %q (from %s) %s; arena memory is recycled on Reset — %s",
+					noun, varName, src, how, fix)
 			})
 		}
 	}
@@ -279,7 +286,10 @@ func taintRef(pass *Pass, e ast.Expr, index map[types.Object]int, f taintFacts) 
 	return "", ""
 }
 
-// isTupleType reports whether t is relation.Tuple or a slice of it.
+// isTupleType reports whether t can carry slab-backed memory:
+// relation.Tuple, a slice of it, or a raw []uint64 φ-ordinal slab.
+// Tracking every []uint64 variable is safe — taint only originates from
+// the arena-yielding calls, so clean ordinal slices never get flagged.
 func isTupleType(t types.Type) bool {
 	if t == nil {
 		return false
@@ -288,7 +298,22 @@ func isTupleType(t types.Type) bool {
 		return true
 	}
 	if s, ok := t.Underlying().(*types.Slice); ok {
-		return namedFrom(s.Elem(), relationPkg, "Tuple")
+		if namedFrom(s.Elem(), relationPkg, "Tuple") {
+			return true
+		}
+		if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+			return true
+		}
+	}
+	return false
+}
+
+// phiSource reports whether the arena source yields a raw φ-ordinal slab
+// ([]uint64) rather than tuples, which changes the suggested fix.
+func phiSource(src string) bool {
+	switch src {
+	case "Arena.Phis", "ReadPhis", "DecodeBlockPhis":
+		return true
 	}
 	return false
 }
@@ -299,12 +324,16 @@ func arenaYieldingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
 	if recv, name, ok := methodCall(pkg, call); ok {
 		t := pkg.Info.TypeOf(recv)
 		switch name {
-		case "Tuple", "Tuples":
+		case "Tuple", "Tuples", "Phis":
 			if namedFrom(t, corePkg, "Arena") {
 				return "Arena." + name, true
 			}
 		case "ReadBlockArena":
 			if namedFrom(t, blockstorePkg, "Store") || namedFrom(t, blockstorePkg, "Snapshot") {
+				return name, true
+			}
+		case "ReadPhis":
+			if namedFrom(t, blockstorePkg, "Snapshot") {
 				return name, true
 			}
 		}
@@ -315,7 +344,7 @@ func arenaYieldingCall(pkg *Package, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	switch sel.Sel.Name {
-	case "DecodeBlockArena", "DecodeTupleSpanArena", "DecodeTupleAtArena":
+	case "DecodeBlockArena", "DecodeTupleSpanArena", "DecodeTupleAtArena", "DecodeBlockPhis":
 	default:
 		return "", false
 	}

@@ -5,6 +5,7 @@
 package arenaescape
 
 import (
+	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/relation"
 )
@@ -126,5 +127,65 @@ func (k *sink) suppressed(s *relation.Schema, buf []byte, a *core.Arena) error {
 	}
 	//avqlint:ignore arenaescape the arena is owned by k and never Reset
 	k.block = ts
+	return nil
+}
+
+// phiSink exercises the φ-slab half of the rule: the batch executor's
+// []uint64 ordinal slabs are carved from the same arenas as tuples.
+type phiSink struct {
+	phis []uint64
+	out  chan []uint64
+}
+
+// keepPhis retains a φ slab read straight off a snapshot block.
+func (k *phiSink) keepPhis(sn *blockstore.Snapshot, a *core.Arena) error {
+	phis, _, _, err := sn.ReadPhis(0, a, nil)
+	if err != nil {
+		return err
+	}
+	k.phis = phis
+	return nil
+}
+
+// keepDecodedPhis retains a stream-decoded φ slab through an alias.
+func (k *phiSink) keepDecodedPhis(s *relation.Schema, buf []byte, a *core.Arena) error {
+	phis, err := core.DecodeBlockPhis(s, buf, a)
+	if err != nil {
+		return err
+	}
+	tail := phis[1:]
+	k.phis = tail
+	return nil
+}
+
+// sendPhis sends an arena φ carve on a channel.
+func (k *phiSink) sendPhis(a *core.Arena, n int) {
+	phis := a.Phis(n)
+	k.out <- phis
+}
+
+// goodTransientPhis folds over the slab without retaining it.
+func goodTransientPhis(sn *blockstore.Snapshot, a *core.Arena) (uint64, error) {
+	phis, _, _, err := sn.ReadPhis(0, a, nil)
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, phi := range phis {
+		sum += phi
+	}
+	return sum, nil
+}
+
+// goodCopyPhis retains a copy that owns its memory — the φ-slab
+// equivalent of Clone.
+func (k *phiSink) goodCopyPhis(s *relation.Schema, buf []byte, a *core.Arena) error {
+	phis, err := core.DecodeBlockPhis(s, buf, a)
+	if err != nil {
+		return err
+	}
+	out := make([]uint64, len(phis))
+	copy(out, phis)
+	k.phis = out
 	return nil
 }

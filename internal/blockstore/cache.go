@@ -134,6 +134,38 @@ func (c *blockCache) get(id storage.PageID, n int, a *core.Arena) ([]relation.Tu
 	return out, true
 }
 
+// getPhis computes the cached block's φ sequence into the caller's arena,
+// if present. The cached slab is row-major digits, so φ per row is one
+// Horner fold (Eq. 2.2) — no tuple headers, no copy of the digits
+// themselves. Misses are not counted against the cache: the batch pass
+// falls through to a stream decode and the tuple path may still hit.
+func (c *blockCache) getPhis(id storage.PageID, s *relation.Schema, a *core.Arena) ([]uint64, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	vals, count := e.vals, e.count
+	c.mu.Unlock()
+	// Fold outside the lock: the entry's slab is never mutated after
+	// insertion, only replaced wholesale by put.
+	n := s.NumAttrs()
+	out := a.Phis(count)
+	for i := 0; i < count; i++ {
+		var phi uint64
+		for j, v := range vals[i*n : (i+1)*n] {
+			phi = phi*s.Domain(j).Size + v
+		}
+		out[i] = phi
+	}
+	return out, true
+}
+
 // put stores a slab copy of the freshly decoded block, evicting the least
 // recently used entry when full.
 func (c *blockCache) put(id storage.PageID, tuples []relation.Tuple, n int) {

@@ -73,6 +73,8 @@ func (s *Store) Configure(cfg Config) {
 				ArenaReuses:    cfg.Obs.Counter("exec.arena_reuses"),
 				SlabBytes:      cfg.Obs.Counter("exec.slab_bytes"),
 				FlatHits:       cfg.Obs.Counter("exec.flat_hits"),
+				BatchBlocks:    cfg.Obs.Counter("exec.batch_blocks"),
+				SlabRows:       cfg.Obs.Counter("exec.slab_rows"),
 			},
 		}
 	} else {
@@ -106,6 +108,8 @@ type ExecMetrics struct {
 	ArenaReuses    *obs.Counter
 	SlabBytes      *obs.Counter
 	FlatHits       *obs.Counter
+	BatchBlocks    *obs.Counter
+	SlabRows       *obs.Counter
 }
 
 // timeEncode wraps core.EncodeBlock with the store's encode instruments.

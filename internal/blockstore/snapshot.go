@@ -181,6 +181,35 @@ func (sn *Snapshot) ReadBlockArena(i int, a *core.Arena) (tuples []relation.Tupl
 	return sn.s.decodeBlockCachedHitArena(sn.m.blocks[i], a)
 }
 
+// ReadPhis decodes the i-th block straight to its φ-ordinal slab, carved
+// from the caller's arena — the batch executor's block read. A cache hit
+// Horner-folds the cached row-major digit slab (no tuple headers built); a
+// miss copies the coded stream into buf and walks it with
+// core.DecodeBlockPhis. The possibly-grown stream buffer is returned for
+// reuse across blocks. Misses do not populate the decoded-block cache: the
+// batch pass streams each block once, and slab entries it will never
+// revisit would only evict tuple entries that selective queries do.
+func (sn *Snapshot) ReadPhis(i int, a *core.Arena, buf []byte) (phis []uint64, nbuf []byte, hit bool, err error) {
+	if sn.released {
+		return nil, buf, false, fmt.Errorf("%w: ReadPhis(%d)", ErrSnapshotStale, i)
+	}
+	id := sn.m.blocks[i]
+	if c := sn.s.cache; c != nil {
+		if phis, ok := c.getPhis(id, sn.s.schema, a); ok {
+			return phis, buf, true, nil
+		}
+	}
+	stream, err := sn.s.readStream(id, buf[:0])
+	if err != nil {
+		return nil, buf, false, err
+	}
+	phis, err = core.DecodeBlockPhis(sn.s.schema, stream, a)
+	if err != nil {
+		return nil, stream, false, fmt.Errorf("%w: page %d: %w", ErrCorruptBlock, id, err)
+	}
+	return phis, stream, false, nil
+}
+
 // ReadStream copies the i-th block's coded stream off its page, for
 // partial decoding without materializing the block. After Release it
 // fails with ErrSnapshotStale.

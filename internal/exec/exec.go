@@ -85,6 +85,11 @@ type Stats struct {
 	// FlatPathHits counts straddling blocks whose span was located by the
 	// flat-ordinal (single-uint64 φ) walk instead of chain-probe search.
 	FlatPathHits int
+	// BatchBlocks counts blocks the columnar batch path decoded as whole
+	// φ-ordinal slabs; SlabRows is the total rows those slabs carried
+	// before predicate compaction.
+	BatchBlocks int
+	SlabRows    int
 }
 
 // boundOf splits the plan's conjunction into the clustering bound (the
@@ -139,6 +144,10 @@ func foldStats(sn *blockstore.Snapshot, st Stats) {
 		m.ArenaReuses.Add(int64(st.ArenaReuses))
 		m.SlabBytes.Add(int64(st.SlabBytes))
 		m.FlatHits.Add(int64(st.FlatPathHits))
+	}
+	if m.BatchBlocks != nil {
+		m.BatchBlocks.Add(int64(st.BatchBlocks))
+		m.SlabRows.Add(int64(st.SlabRows))
 	}
 }
 

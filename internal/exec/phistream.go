@@ -1,0 +1,200 @@
+package exec
+
+// PhiStream is a φ-ordered stream of per-block ordinal slabs — the shape
+// merge-style operators consume. BatchIterator implements it over one
+// snapshot; ChainPhiStreams concatenates per-shard iterators into one
+// table-wide stream (φ-range shards are disjoint and ordered, so shard
+// order is φ order).
+type PhiStream interface {
+	// NextPhis returns the next nondecreasing slab, or nil at the end.
+	// The slab is valid only until the next NextPhis call.
+	NextPhis() ([]uint64, error)
+	// SeekPhi advances the stream (forward only) past blocks that cannot
+	// contain a φ >= target. Best-effort: the stream may still deliver
+	// smaller ordinals (unknown fences, in-block prefixes); consumers
+	// must skip within slabs themselves.
+	SeekPhi(target uint64) error
+}
+
+// chainedPhis concatenates streams end to end, carrying the high-water
+// seek target into each subsequent stream: a seek raised while stream i
+// is draining must still prune stream i+1's prefix when the chain gets
+// there.
+type chainedPhis struct {
+	streams []PhiStream
+	at      int
+	hw      uint64
+	hasHW   bool
+}
+
+// ChainPhiStreams returns the concatenation of streams in order. The
+// caller asserts the concatenation is φ-ordered (true for φ-range shards
+// in catalog order).
+func ChainPhiStreams(streams ...PhiStream) PhiStream {
+	return &chainedPhis{streams: streams}
+}
+
+func (c *chainedPhis) NextPhis() ([]uint64, error) {
+	for c.at < len(c.streams) {
+		phis, err := c.streams[c.at].NextPhis()
+		if err != nil {
+			return nil, err
+		}
+		if phis != nil {
+			return phis, nil
+		}
+		c.at++
+		if c.at < len(c.streams) && c.hasHW {
+			if err := c.streams[c.at].SeekPhi(c.hw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (c *chainedPhis) SeekPhi(target uint64) error {
+	if !c.hasHW || target > c.hw {
+		c.hw, c.hasHW = target, true
+	}
+	if c.at < len(c.streams) {
+		return c.streams[c.at].SeekPhi(target)
+	}
+	return nil
+}
+
+// phiRun is one side of a φ-space merge join: a PhiStream plus the
+// in-slab cursor and a reusable group buffer (a key group can span slab
+// boundaries, and slabs die at the next pull, so groups are copied out).
+type phiRun struct {
+	src  PhiStream
+	w0   uint64 // attribute-0 weight: key(φ) = φ / w0
+	slab []uint64
+	pos  int
+	done bool
+	buf  []uint64
+}
+
+// fill ensures the run is positioned on a row or done.
+func (r *phiRun) fill() error {
+	for !r.done && r.pos >= len(r.slab) {
+		slab, err := r.src.NextPhis()
+		if err != nil {
+			return err
+		}
+		if slab == nil {
+			r.done = true
+			return nil
+		}
+		r.slab, r.pos = slab, 0
+	}
+	return nil
+}
+
+// key returns the current row's join key (the attribute-0 digit).
+func (r *phiRun) key() uint64 { return r.slab[r.pos] / r.w0 }
+
+// seekKey advances the run to the first row with key >= k: binary search
+// within the current slab, and a fence-level stream seek once the slab is
+// exhausted below the target.
+func (r *phiRun) seekKey(k uint64) error {
+	target := k * r.w0
+	for {
+		if err := r.fill(); err != nil || r.done {
+			return err
+		}
+		if r.slab[len(r.slab)-1] >= target {
+			lo, hi := r.pos, len(r.slab)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if r.slab[mid] < target {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			r.pos = lo
+			return nil
+		}
+		// Whole remaining slab is below the key: skip ahead on fences.
+		r.slab, r.pos = nil, 0
+		if err := r.src.SeekPhi(target); err != nil {
+			return err
+		}
+	}
+}
+
+// collectGroup copies every row with key k (starting at the current
+// position, which must hold one) into the run's reusable buffer, crossing
+// slab boundaries as needed, and leaves the run positioned after the
+// group.
+func (r *phiRun) collectGroup(k uint64) ([]uint64, error) {
+	r.buf = r.buf[:0]
+	limit := (k + 1) * r.w0 // first φ past the group; ≤ ||R||, no overflow
+	for {
+		lo, hi := r.pos, len(r.slab)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if r.slab[mid] < limit {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		r.buf = append(r.buf, r.slab[r.pos:lo]...)
+		r.pos = lo
+		if lo < len(r.slab) {
+			return r.buf, nil
+		}
+		if err := r.fill(); err != nil {
+			return nil, err
+		}
+		if r.done || r.slab[r.pos] >= limit {
+			return r.buf, nil
+		}
+	}
+}
+
+// MergeJoinPhis advances two φ-ordered streams in lockstep, comparing
+// raw attribute-0 digits (φ / w0 — single integer divides, no tuples),
+// and hands emitGroup each matching key with both sides' complete φ
+// groups. The group slices are reused across calls; emitGroup must copy
+// what it keeps, and returning false stops the join. The lagging side
+// skips ahead by in-slab binary search and fence-level SeekPhi, so a
+// sparse join touches only the blocks that can hold matching keys.
+func MergeJoinPhis(left, right PhiStream, lw0, rw0 uint64, emitGroup func(key uint64, lphis, rphis []uint64) bool) error {
+	l := &phiRun{src: left, w0: lw0}
+	r := &phiRun{src: right, w0: rw0}
+	if err := l.fill(); err != nil {
+		return err
+	}
+	if err := r.fill(); err != nil {
+		return err
+	}
+	for !l.done && !r.done {
+		lk, rk := l.key(), r.key()
+		switch {
+		case lk < rk:
+			if err := l.seekKey(rk); err != nil {
+				return err
+			}
+		case rk < lk:
+			if err := r.seekKey(lk); err != nil {
+				return err
+			}
+		default:
+			lg, err := l.collectGroup(lk)
+			if err != nil {
+				return err
+			}
+			rg, err := r.collectGroup(lk)
+			if err != nil {
+				return err
+			}
+			if !emitGroup(lk, lg, rg) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

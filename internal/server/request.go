@@ -162,6 +162,9 @@ type StatsJSON struct {
 	BlocksPruned   int    `json:"blocks_pruned"`
 	PartialDecodes int    `json:"partial_decodes"`
 	Matches        int    `json:"matches"`
+	// Columnar batch accounting; zero (and omitted) on the tuple path.
+	BatchBlocks int `json:"batch_blocks,omitempty"`
+	SlabRows    int `json:"slab_rows,omitempty"`
 }
 
 func statsJSON(qs table.QueryStats) *StatsJSON {
@@ -172,6 +175,8 @@ func statsJSON(qs table.QueryStats) *StatsJSON {
 		BlocksPruned:   qs.BlocksPruned,
 		PartialDecodes: qs.PartialDecodes,
 		Matches:        qs.Matches,
+		BatchBlocks:    qs.BatchBlocks,
+		SlabRows:       qs.SlabRows,
 	}
 }
 

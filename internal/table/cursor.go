@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/relation"
 )
@@ -58,6 +59,16 @@ func (c *Cursor) Next() (relation.Tuple, bool, error) {
 // after exhaustion.
 func (c *Cursor) Close() { c.it.Release() }
 
+// BatchIterator returns a columnar pull iterator over the table: a
+// φ-ordered stream of per-block ordinal slabs reading a pinned snapshot
+// (see exec.BatchIterator for slab lifetime and seek semantics). It fails
+// with exec.ErrNotFlat on a non-flat schema. The caller must Release it.
+// The shard layer chains per-shard streams through it for cross-shard
+// merge joins.
+func (t *Table) BatchIterator(ctx context.Context) (*exec.BatchIterator, error) {
+	return exec.NewBatchIterator(ctx, t.store.Snapshot())
+}
+
 // GroupResult is one group of GroupBy: the grouping value and the
 // aggregates of aggAttr within it.
 type GroupResult struct {
@@ -80,6 +91,15 @@ func (t *Table) GroupByContext(ctx context.Context, filterAttr int, lo, hi uint6
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
+	return groupByDispatchCtx(ctx, r, groupAttr, aggAttr)
+}
+
+// groupByDispatchCtx runs a planned GroupBy on whichever path the plan
+// selected; Table and Sync both funnel through it.
+func groupByDispatchCtx(ctx context.Context, r queryRun, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	if r.batch && !r.empty {
+		return groupByBatchCtx(ctx, r, r.snap.Schema(), groupAttr, aggAttr)
+	}
 	return groupByRunCtx(ctx, r, groupAttr, aggAttr)
 }
 
@@ -97,6 +117,82 @@ func (t *Table) planGroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr in
 	// the executor may recycle one arena across blocks.
 	r.plan.Transient = true
 	return r, err
+}
+
+// groupByBatchCtx is GroupBy on raw ordinals: both the group key and the
+// aggregated value come out of each φ via the FlatWeights divisor chain
+// (one divide + mod each), never full φ⁻¹. Grouping on the clustering
+// prefix (groupAttr 0) exploits φ order — keys arrive as contiguous
+// nondecreasing runs, so the result list is appended directly with no
+// hash map and no final sort. Other group attributes bucket into a map
+// exactly like the tuple path.
+func groupByBatchCtx(ctx context.Context, r queryRun, s *relation.Schema, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
+	w, _ := s.FlatWeights()
+	agg := core.NewDigitExtractor(w[aggAttr], s.Domain(aggAttr).Size)
+	if groupAttr == 0 {
+		w0 := w[0]
+		var out []GroupResult
+		stats, err := r.runBatchCtx(ctx, func(phis []uint64) bool {
+			// The slab is nondecreasing, so rows arrive in contiguous key
+			// runs: one divide finds each run's key, and a φ-threshold
+			// compare walks the run — no per-row key extraction.
+			for i := 0; i < len(phis); {
+				k := phis[i] / w0 // attribute 0 needs no mod: φ/w0 < u0
+				limit := (k + 1) * w0
+				if len(out) == 0 || out[len(out)-1].Value != k {
+					out = append(out, GroupResult{Value: k, Agg: AggregateResult{Min: ^uint64(0)}})
+				}
+				g := &out[len(out)-1].Agg
+				for ; i < len(phis) && phis[i] < limit; i++ {
+					v := agg.Digit(phis[i])
+					g.Count++
+					g.Sum += v
+					if v < g.Min {
+						g.Min = v
+					}
+					if v > g.Max {
+						g.Max = v
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		return out, stats, nil
+	}
+	grp := core.NewDigitExtractor(w[groupAttr], s.Domain(groupAttr).Size)
+	groups := make(map[uint64]*AggregateResult)
+	stats, err := r.runBatchCtx(ctx, func(phis []uint64) bool {
+		for _, phi := range phis {
+			k := grp.Digit(phi)
+			g := groups[k]
+			if g == nil {
+				g = &AggregateResult{Min: ^uint64(0)}
+				groups[k] = g
+			}
+			v := agg.Digit(phi)
+			g.Count++
+			g.Sum += v
+			if v < g.Min {
+				g.Min = v
+			}
+			if v > g.Max {
+				g.Max = v
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]GroupResult, 0, len(groups))
+	for v, agg := range groups {
+		out = append(out, GroupResult{Value: v, Agg: *agg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out, stats, nil
 }
 
 // groupByRun executes a planned GroupBy pass: stream, bucket, sort.

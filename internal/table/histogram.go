@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/relation"
 )
 
@@ -130,6 +131,22 @@ func (t *Table) HistogramContext(ctx context.Context, attr, buckets int) ([]int,
 	counts := make([]int, buckets)
 	r := t.planScan()
 	r.op = "histogram"
+	if r.batch {
+		// Bucket straight off the φ digits.
+		w, _ := t.schema.FlatWeights()
+		dig := core.NewDigitExtractor(w[attr], domain)
+		stats, err := r.runBatchCtx(ctx, func(phis []uint64) bool {
+			for _, phi := range phis {
+				b := int(dig.Digit(phi) / width)
+				if b >= buckets {
+					b = buckets - 1
+				}
+				counts[b]++
+			}
+			return true
+		})
+		return counts, stats, err
+	}
 	// Bucketing reads one attribute per tuple and retains nothing.
 	r.plan.Transient = true
 	stats, err := r.runCtx(ctx, func(tu relation.Tuple) bool {

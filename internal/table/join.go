@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/ordinal"
 	"repro/internal/relation"
 )
 
@@ -22,6 +23,14 @@ type JoinStats struct {
 	LeftCacheHits  int
 	RightCacheHits int
 	Matches        int
+	// BlocksPruned counts blocks skipped unread on both sides by
+	// fence-level seeks (the batch merge join's sparse-key skipping).
+	BlocksPruned int
+	// BatchBlocks and SlabRows account the columnar path: blocks decoded
+	// as φ-ordinal slabs and the rows they carried, summed over both
+	// sides. Zero on the tuple-at-a-time path.
+	BatchBlocks int
+	SlabRows    int
 }
 
 // HashJoin computes the equi-join left ⋈_{A_lattr = A_rattr} right with a
@@ -37,13 +46,32 @@ func HashJoin(left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error
 }
 
 // HashJoinContext is HashJoin honouring ctx: both the build and probe
-// passes observe cancellation at block boundaries.
+// passes observe cancellation at block boundaries. It materializes the
+// whole result; large joins should stream through HashJoinEachContext.
 func HashJoinContext(ctx context.Context, left, right *Table, lattr, rattr int) ([]JoinRow, JoinStats, error) {
+	var out []JoinRow
+	stats, err := HashJoinEachContext(ctx, left, right, lattr, rattr, func(row JoinRow) bool {
+		out = append(out, row)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// HashJoinEachContext is the streaming form of HashJoinContext: join rows
+// reach emit one at a time (in probe-side φ order) and nothing but the
+// build side's hash table is held in memory, so the join runs in
+// O(smaller side) space regardless of result size. Emitted tuples are
+// safe to retain. emit returning false stops the join early; Matches
+// counts the rows emitted up to the stop.
+func HashJoinEachContext(ctx context.Context, left, right *Table, lattr, rattr int, emit func(JoinRow) bool) (JoinStats, error) {
 	if lattr < 0 || lattr >= left.schema.NumAttrs() {
-		return nil, JoinStats{}, fmt.Errorf("table: join attribute %d out of range for left", lattr)
+		return JoinStats{}, fmt.Errorf("table: join attribute %d out of range for left", lattr)
 	}
 	if rattr < 0 || rattr >= right.schema.NumAttrs() {
-		return nil, JoinStats{}, fmt.Errorf("table: join attribute %d out of range for right", rattr)
+		return JoinStats{}, fmt.Errorf("table: join attribute %d out of range for right", rattr)
 	}
 	sp := left.opts.Obs.StartOp("hash_join")
 	defer sp.End()
@@ -64,23 +92,27 @@ func HashJoinContext(ctx context.Context, left, right *Table, lattr, rattr int) 
 	})
 	buildSnap.Release()
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
-	var out []JoinRow
 	probeSnap := probe.store.Snapshot()
 	probeStats, err := exec.RunContext(ctx, probeSnap, exec.Plan{}, func(tu relation.Tuple) bool {
 		for _, match := range ht[tu[pattr]] {
+			var row JoinRow
 			if buildLeft {
-				out = append(out, JoinRow{Left: match, Right: tu})
+				row = JoinRow{Left: match, Right: tu}
 			} else {
-				out = append(out, JoinRow{Left: tu, Right: match})
+				row = JoinRow{Left: tu, Right: match}
+			}
+			stats.Matches++
+			if !emit(row) {
+				return false
 			}
 		}
 		return true
 	})
 	probeSnap.Release()
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
 	if buildLeft {
 		stats.LeftBlocks, stats.RightBlocks = buildStats.BlocksRead, probeStats.BlocksRead
@@ -89,8 +121,7 @@ func HashJoinContext(ctx context.Context, left, right *Table, lattr, rattr int) 
 		stats.LeftBlocks, stats.RightBlocks = probeStats.BlocksRead, buildStats.BlocksRead
 		stats.LeftCacheHits, stats.RightCacheHits = probeStats.CacheHits, buildStats.CacheHits
 	}
-	stats.Matches = len(out)
-	return out, stats, nil
+	return stats, nil
 }
 
 // MergeJoin computes the equi-join on both relations' clustering attribute
@@ -105,45 +136,156 @@ func MergeJoin(left, right *Table) ([]JoinRow, JoinStats, error) {
 }
 
 // MergeJoinContext is MergeJoin honouring ctx: both streams observe
-// cancellation at block boundaries.
+// cancellation at block boundaries. It materializes the whole result;
+// large joins should stream through MergeJoinEachContext.
 func MergeJoinContext(ctx context.Context, left, right *Table) ([]JoinRow, JoinStats, error) {
+	var out []JoinRow
+	stats, err := MergeJoinEachContext(ctx, left, right, func(row JoinRow) bool {
+		out = append(out, row)
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// MergeJoinEachContext is the streaming form of MergeJoinContext: join
+// rows reach emit one key group at a time and only the current groups are
+// held in memory. When both schemas are flat (and neither table opted out
+// via DisableBatch) the join runs in φ-space: each side streams
+// per-block ordinal slabs, keys are compared as raw φ/w0 digits, the
+// lagging side skips ahead over fence-pruned blocks, and tuples are
+// materialized (φ⁻¹) only for rows that actually join. Emitted tuples are
+// safe to retain. emit returning false stops the join early.
+func MergeJoinEachContext(ctx context.Context, left, right *Table, emit func(JoinRow) bool) (JoinStats, error) {
 	sp := left.opts.Obs.StartOp("merge_join")
 	defer sp.End()
+	if left.batchable() && right.batchable() {
+		return mergeJoinBatch(ctx, left, right, emit)
+	}
+	return mergeJoinTuples(ctx, left, right, emit)
+}
+
+// mergeJoinBatch is the φ-space merge join between two tables.
+func mergeJoinBatch(ctx context.Context, left, right *Table, emit func(JoinRow) bool) (JoinStats, error) {
+	var stats JoinStats
+	li, err := exec.NewBatchIterator(ctx, left.store.Snapshot())
+	if err != nil {
+		return stats, err
+	}
+	defer li.Release()
+	ri, err := exec.NewBatchIterator(ctx, right.store.Snapshot())
+	if err != nil {
+		return stats, err
+	}
+	defer ri.Release()
+	matches, err := JoinPhiStreams(li, ri, left.schema, right.schema, emit)
+	stats.Matches = matches
+	stats.LeftBlocks, stats.LeftCacheHits = li.Stats.BlocksRead, li.Stats.CacheHits
+	stats.RightBlocks, stats.RightCacheHits = ri.Stats.BlocksRead, ri.Stats.CacheHits
+	stats.BlocksPruned = li.Stats.BlocksPruned + ri.Stats.BlocksPruned
+	stats.BatchBlocks = li.Stats.BatchBlocks + ri.Stats.BatchBlocks
+	stats.SlabRows = li.Stats.SlabRows + ri.Stats.SlabRows
+	return stats, err
+}
+
+// JoinPhiStreams merges two φ-ordered slab streams on their clustering
+// attribute and materializes join rows only for matching groups: one
+// fresh tuple per distinct group row via φ⁻¹ (shared across its cross-
+// product pairs, so emitted rows are safe to retain), never one per pair.
+// Both schemas must be flat. It returns the number of rows emitted. The
+// shard layer joins chained per-shard streams through it.
+func JoinPhiStreams(ls, rs exec.PhiStream, lsch, rsch *relation.Schema, emit func(JoinRow) bool) (int, error) {
+	lw, ok := lsch.FlatWeights()
+	if !ok {
+		return 0, exec.ErrNotFlat
+	}
+	rw, ok := rsch.FlatWeights()
+	if !ok {
+		return 0, exec.ErrNotFlat
+	}
+	matches := 0
+	var matErr error
+	var ltup, rtup []relation.Tuple
+	err := exec.MergeJoinPhis(ls, rs, lw[0], rw[0], func(_ uint64, lg, rg []uint64) bool {
+		if ltup, matErr = materializeGroup(lsch, lg, ltup[:0]); matErr != nil {
+			return false
+		}
+		if rtup, matErr = materializeGroup(rsch, rg, rtup[:0]); matErr != nil {
+			return false
+		}
+		for _, l := range ltup {
+			for _, r := range rtup {
+				matches++
+				if !emit(JoinRow{Left: l, Right: r}) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err == nil {
+		err = matErr
+	}
+	return matches, err
+}
+
+// materializeGroup inverts a group's ordinals into fresh tuples, appending
+// to dst (whose header is reused across groups; the tuples are not).
+func materializeGroup(s *relation.Schema, phis []uint64, dst []relation.Tuple) ([]relation.Tuple, error) {
+	for _, phi := range phis {
+		tu, err := ordinal.PhiInverseU64(s, make(relation.Tuple, s.NumAttrs()), phi)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, tu)
+	}
+	return dst, nil
+}
+
+// mergeJoinTuples is the tuple-at-a-time merge join — the differential
+// oracle the batch path is pinned against, and the fallback for non-flat
+// schemas.
+func mergeJoinTuples(ctx context.Context, left, right *Table, emit func(JoinRow) bool) (JoinStats, error) {
 	var stats JoinStats
 	lc := newClusterCursor(ctx, left)
 	defer lc.close()
 	rc := newClusterCursor(ctx, right)
 	defer rc.close()
-	var out []JoinRow
 	lg, err := lc.nextGroup()
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
 	rg, err := rc.nextGroup()
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
+loop:
 	for lg != nil && rg != nil {
 		switch {
 		case lg.key < rg.key:
 			if lg, err = lc.nextGroup(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 		case lg.key > rg.key:
 			if rg, err = rc.nextGroup(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 		default:
 			for _, l := range lg.rows {
 				for _, r := range rg.rows {
-					out = append(out, JoinRow{Left: l, Right: r})
+					stats.Matches++
+					if !emit(JoinRow{Left: l, Right: r}) {
+						break loop
+					}
 				}
 			}
 			if lg, err = lc.nextGroup(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 			if rg, err = rc.nextGroup(); err != nil {
-				return nil, stats, err
+				return stats, err
 			}
 		}
 	}
@@ -151,8 +293,7 @@ func MergeJoinContext(ctx context.Context, left, right *Table) ([]JoinRow, JoinS
 	stats.LeftCacheHits = lc.it.Stats.CacheHits
 	stats.RightBlocks = rc.it.Stats.BlocksRead
 	stats.RightCacheHits = rc.it.Stats.CacheHits
-	stats.Matches = len(out)
-	return out, stats, nil
+	return stats, nil
 }
 
 // clusterCursor streams a table's tuples grouped by their clustering

@@ -44,6 +44,13 @@ func resolveOptions(opts []Option) Options {
 // e.g. the page size — before constructing per-shard backends.
 func Resolve(opts []Option) Options { return resolveOptions(opts) }
 
+// WithBatch enables (true, the default on flat schemas) or disables
+// (false) the columnar batch execution path for aggregate reads and merge
+// joins. Non-flat schemas ignore it: they have no φ-slab representation.
+func WithBatch(on bool) Option {
+	return optionFunc(func(o *Options) { o.DisableBatch = !on })
+}
+
 // WithCodec selects the block representation (default core.CodecAVQ).
 func WithCodec(c core.Codec) Option {
 	return optionFunc(func(o *Options) { o.Codec = c })

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/relation"
 )
@@ -190,7 +191,43 @@ func (t *Table) AggregateRangeContext(ctx context.Context, attr int, lo, hi uint
 	if err != nil {
 		return AggregateResult{}, QueryStats{}, err
 	}
+	return aggregateDispatchCtx(ctx, r, aggAttr)
+}
+
+// aggregateDispatchCtx runs a planned aggregate on whichever path the
+// plan selected; Table and Sync both funnel through it.
+func aggregateDispatchCtx(ctx context.Context, r queryRun, aggAttr int) (AggregateResult, QueryStats, error) {
+	if r.batch && !r.empty {
+		return aggregateBatchCtx(ctx, r, r.snap.Schema(), aggAttr)
+	}
 	return aggregateRunCtx(ctx, r, aggAttr)
+}
+
+// aggregateBatchCtx is the aggregate fold on raw ordinals: the aggregated
+// attribute is extracted from each φ with one divide and one mod over the
+// cached FlatWeights divisor chain — no tuple is ever materialized.
+func aggregateBatchCtx(ctx context.Context, r queryRun, s *relation.Schema, aggAttr int) (AggregateResult, QueryStats, error) {
+	w, _ := s.FlatWeights()
+	agg := core.NewDigitExtractor(w[aggAttr], s.Domain(aggAttr).Size)
+	res := AggregateResult{Min: math.MaxUint64}
+	stats, err := r.runBatchCtx(ctx, func(phis []uint64) bool {
+		for _, phi := range phis {
+			v := agg.Digit(phi)
+			res.Count++
+			res.Sum += v
+			if v < res.Min {
+				res.Min = v
+			}
+			if v > res.Max {
+				res.Max = v
+			}
+		}
+		return true
+	})
+	if res.Count == 0 {
+		res.Min = 0
+	}
+	return res, stats, err
 }
 
 // planAggregate validates the aggregate attribute and plans the filter pass.

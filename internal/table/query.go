@@ -60,6 +60,11 @@ type QueryStats struct {
 	BlocksPruned   int
 	PartialDecodes int
 	Matches        int
+	// BatchBlocks counts blocks the columnar batch path decoded as whole
+	// φ-ordinal slabs (zero on the tuple-at-a-time path); SlabRows is the
+	// total rows those slabs carried before predicate compaction.
+	BatchBlocks int
+	SlabRows    int
 }
 
 // queryRun is a planned read pass. Planning — predicate validation,
@@ -72,6 +77,10 @@ type queryRun struct {
 	plan  exec.Plan
 	snap  *blockstore.Snapshot
 	empty bool
+	// batch routes the pass through the columnar φ-slab executor; set at
+	// plan time when the schema is flat and the table has not opted out.
+	// Only operators whose kernels consume raw ordinals honour it.
+	batch bool
 
 	// op names the span recorded around the pass ("" records none); reg is
 	// the table's registry, captured at plan time so run needs no table.
@@ -100,14 +109,42 @@ func (r queryRun) runCtx(ctx context.Context, emit func(relation.Tuple) bool) (Q
 	}
 	defer r.snap.Release()
 	es, err := exec.RunContext(ctx, r.snap, r.plan, emit)
-	st := r.stats
+	st := foldExecStats(r.stats, es)
+	sp.Detailf("%s: %d blocks read, %d pruned, %d matches", st.Strategy, st.BlocksRead, st.BlocksPruned, st.Matches)
+	return st, err
+}
+
+// runBatchCtx executes the planned pass through the columnar batch
+// executor: kernel receives each block's already-filtered φ-ordinal slab
+// (valid only for the duration of the call). The caller must have checked
+// r.batch.
+func (r queryRun) runBatchCtx(ctx context.Context, kernel func(phis []uint64) bool) (QueryStats, error) {
+	if r.empty {
+		return r.stats, nil
+	}
+	var sp *obs.Span
+	if r.op != "" {
+		sp = r.reg.StartOp(r.op)
+		defer sp.End()
+	}
+	defer r.snap.Release()
+	es, err := exec.RunBatch(ctx, r.snap, r.plan, kernel)
+	st := foldExecStats(r.stats, es)
+	sp.Detailf("%s (batch): %d slabs, %d rows, %d pruned, %d matches",
+		st.Strategy, st.BatchBlocks, st.SlabRows, st.BlocksPruned, st.Matches)
+	return st, err
+}
+
+// foldExecStats copies the executor's accounting into QueryStats.
+func foldExecStats(st QueryStats, es exec.Stats) QueryStats {
 	st.BlocksRead = es.BlocksRead
 	st.CacheHits = es.CacheHits
 	st.BlocksPruned = es.BlocksPruned
 	st.PartialDecodes = es.PartialDecodes
 	st.Matches = es.Matches
-	sp.Detailf("%s: %d blocks read, %d pruned, %d matches", st.Strategy, st.BlocksRead, st.BlocksPruned, st.Matches)
-	return st, err
+	st.BatchBlocks = es.BatchBlocks
+	st.SlabRows = es.SlabRows
+	return st
 }
 
 // SelectRange executes the paper's evaluation query sigma_{lo <= A_attr <=
@@ -167,7 +204,7 @@ func (t *Table) planRange(attr int, lo, hi uint64) (queryRun, error) {
 	if hi >= t.schema.Domain(attr).Size {
 		hi = t.schema.Domain(attr).Size - 1
 	}
-	r := queryRun{plan: exec.Plan{Preds: []exec.Pred{{Attr: attr, Lo: lo, Hi: hi}}}, op: "select", reg: t.opts.Obs}
+	r := queryRun{plan: exec.Plan{Preds: []exec.Pred{{Attr: attr, Lo: lo, Hi: hi}}}, op: "select", reg: t.opts.Obs, batch: t.batchable()}
 	switch {
 	case attr == 0:
 		r.stats.Strategy = StrategyClustered
@@ -190,7 +227,19 @@ func (t *Table) planScan() queryRun {
 		stats: QueryStats{Strategy: StrategyFullScan},
 		snap:  t.store.Snapshot(),
 		reg:   t.opts.Obs,
+		batch: t.batchable(),
 	}
+}
+
+// batchable reports whether aggregate reads may use the columnar batch
+// path: the schema must be flat (φ fits a uint64) and the table must not
+// have opted out via DisableBatch.
+func (t *Table) batchable() bool {
+	if t.opts.DisableBatch {
+		return false
+	}
+	_, ok := t.schema.FlatSpace()
+	return ok
 }
 
 // candidateBlocks collects the distinct data blocks a secondary index maps
@@ -252,6 +301,17 @@ func (t *Table) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) 
 	r, err := t.planRange(attr, lo, hi)
 	if err != nil {
 		return 0, QueryStats{}, err
+	}
+	return countRunCtx(ctx, r)
+}
+
+// countRunCtx executes a planned count on whichever path the plan
+// selected. The batch pass counts qualifying ordinals as it compacts each
+// slab, so its kernel has nothing left to do.
+func countRunCtx(ctx context.Context, r queryRun) (int, QueryStats, error) {
+	if r.batch && !r.empty {
+		stats, err := r.runBatchCtx(ctx, func([]uint64) bool { return true })
+		return stats.Matches, stats, err
 	}
 	// Counting never touches the tuples, so the executor may recycle one
 	// arena across blocks.

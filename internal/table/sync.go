@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/relation"
 )
 
@@ -111,37 +112,24 @@ func (s *Sync) Select(preds []Predicate) ([]relation.Tuple, QueryStats, error) {
 }
 
 // CountRange counts matches, snapshot-isolated after planning.
+//
+// Deprecated: use CountRangeContext.
 func (s *Sync) CountRange(attr int, lo, hi uint64) (int, QueryStats, error) {
-	s.mu.RLock()
-	r, err := s.t.planRange(attr, lo, hi)
-	s.mu.RUnlock()
-	if err != nil {
-		return 0, QueryStats{}, err
-	}
-	stats, err := r.run(func(relation.Tuple) bool { return true })
-	return stats.Matches, stats, err
+	return s.CountRangeContext(context.Background(), attr, lo, hi)
 }
 
 // AggregateRange aggregates, snapshot-isolated after planning.
+//
+// Deprecated: use AggregateRangeContext.
 func (s *Sync) AggregateRange(attr int, lo, hi uint64, aggAttr int) (AggregateResult, QueryStats, error) {
-	s.mu.RLock()
-	r, err := s.t.planAggregate(attr, lo, hi, aggAttr)
-	s.mu.RUnlock()
-	if err != nil {
-		return AggregateResult{}, QueryStats{}, err
-	}
-	return aggregateRun(r, aggAttr)
+	return s.AggregateRangeContext(context.Background(), attr, lo, hi, aggAttr)
 }
 
 // GroupBy groups and aggregates, snapshot-isolated after planning.
+//
+// Deprecated: use GroupByContext.
 func (s *Sync) GroupBy(filterAttr int, lo, hi uint64, groupAttr, aggAttr int) ([]GroupResult, QueryStats, error) {
-	s.mu.RLock()
-	r, err := s.t.planGroupBy(filterAttr, lo, hi, groupAttr, aggAttr)
-	s.mu.RUnlock()
-	if err != nil {
-		return nil, QueryStats{}, err
-	}
-	return groupByRun(r, groupAttr, aggAttr)
+	return s.GroupByContext(context.Background(), filterAttr, lo, hi, groupAttr, aggAttr)
 }
 
 // Scan streams every tuple in phi order from a snapshot pinned under a
@@ -269,9 +257,7 @@ func (s *Sync) CountRangeContext(ctx context.Context, attr int, lo, hi uint64) (
 	if err != nil {
 		return 0, QueryStats{}, err
 	}
-	r.plan.Transient = true // counting retains nothing
-	stats, err := r.runCtx(ctx, func(relation.Tuple) bool { return true })
-	return stats.Matches, stats, err
+	return countRunCtx(ctx, r)
 }
 
 // AggregateRangeContext is AggregateRange honouring ctx.
@@ -282,7 +268,7 @@ func (s *Sync) AggregateRangeContext(ctx context.Context, attr int, lo, hi uint6
 	if err != nil {
 		return AggregateResult{}, QueryStats{}, err
 	}
-	return aggregateRunCtx(ctx, r, aggAttr)
+	return aggregateDispatchCtx(ctx, r, aggAttr)
 }
 
 // GroupByContext is GroupBy honouring ctx.
@@ -293,7 +279,16 @@ func (s *Sync) GroupByContext(ctx context.Context, filterAttr int, lo, hi uint64
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return groupByRunCtx(ctx, r, groupAttr, aggAttr)
+	return groupByDispatchCtx(ctx, r, groupAttr, aggAttr)
+}
+
+// BatchIterator returns a columnar φ-slab iterator over a snapshot pinned
+// under a shared lock; iteration itself runs lock-free. See
+// Table.BatchIterator.
+func (s *Sync) BatchIterator(ctx context.Context) (*exec.BatchIterator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.t.BatchIterator(ctx)
 }
 
 // ScanContext is Scan honouring ctx.

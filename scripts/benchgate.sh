@@ -184,3 +184,36 @@ if [ "$serve_pass" != "true" ]; then
 fi
 
 echo "benchgate: PASS (serve p99 ${serve_p99}ms, admission overhead ${serve_adm}%, overload_pass=$serve_over drain_pass=$serve_drain)"
+
+# -- columnar batch execution gate -------------------------------------------
+# The join experiment carries its own absolute gates: the φ-space merge
+# join >= 3x the tuple-at-a-time join on the sparse-key workload, the
+# φ-prefix group-by >= 2x the tuple path, every codec's slab decode
+# kernel at 0 allocs/op, and the batch and 4-shard chained-stream results
+# byte-identical to the tuple path. All are ratios or exact comparisons
+# on one host, so no cross-host baseline comparison is needed.
+if [ -f BENCH_join.json ]; then
+    cp BENCH_join.json "$tmpdir/join-baseline.json"
+fi
+
+echo "== benchgate: running avqbench -exp join"
+go run ./cmd/avqbench -exp join
+
+join_pass=$(jget BENCH_join.json pass)
+join_speedup=$(jget BENCH_join.json join_speedup)
+join_min=$(jget BENCH_join.json min_join_speedup)
+group_speedup=$(jget BENCH_join.json group_speedup)
+group_min=$(jget BENCH_join.json min_group_speedup)
+join_zero=$(jget BENCH_join.json zero_alloc_pass)
+join_diff=$(jget BENCH_join.json differential_pass)
+
+if [ -f "$tmpdir/join-baseline.json" ]; then
+    cp "$tmpdir/join-baseline.json" BENCH_join.json
+fi
+
+if [ "$join_pass" != "true" ]; then
+    echo "benchgate: batch execution gates failed (join ${join_speedup}x/${join_min}x, group ${group_speedup}x/${group_min}x, zero_alloc_pass=$join_zero differential_pass=$join_diff)" >&2
+    exit 1
+fi
+
+echo "benchgate: PASS (batch merge join ${join_speedup}x >= ${join_min}x, group-by ${group_speedup}x >= ${group_min}x, zero_alloc_pass=$join_zero differential_pass=$join_diff)"
